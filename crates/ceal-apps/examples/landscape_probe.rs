@@ -1,0 +1,109 @@
+//! Developer probe: samples random feasible configurations of each workflow
+//! and reports the landscape statistics the reproduction depends on —
+//! dynamic range, best/expert comparison, and how well the solo-based
+//! analytical coupling model ranks the coupled truth.
+//!
+//! Run with: `cargo run --release -p ceal-apps --example landscape_probe`
+
+use ceal_apps::{all_workflows, expert_config};
+use ceal_sim::{Objective, Simulator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let sim = Simulator::noiseless();
+    for wf in all_workflows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2021);
+        let params = wf.all_params();
+        // Rejection-sample feasible configs.
+        let mut configs = Vec::new();
+        let mut attempts = 0u64;
+        while configs.len() < 1000 && attempts < 2_000_000 {
+            attempts += 1;
+            let cfg = ceal_sim::config::sample_values(&params, &mut rng);
+            if wf.feasible(&sim.platform, &cfg) {
+                configs.push(cfg);
+            }
+        }
+        let accept = configs.len() as f64 / attempts as f64;
+
+        let results: Vec<_> = ceal_par::parallel_map(&configs, |cfg| {
+            let r = sim.run(&wf, cfg, 0).expect("feasible config simulates");
+            let solo: Vec<f64> = wf
+                .param_ranges()
+                .iter()
+                .enumerate()
+                .map(|(i, range)| {
+                    sim.run_solo(&wf, i, &cfg[range.clone()], 0)
+                        .unwrap()
+                        .exec_time
+                })
+                .collect();
+            (r, solo)
+        });
+
+        for obj in [Objective::ExecutionTime, Objective::ComputerTime] {
+            let mut vals: Vec<f64> = results.iter().map(|(r, _)| r.objective(obj)).collect();
+            let acm: Vec<f64> = results
+                .iter()
+                .map(|(r, solo)| match obj {
+                    Objective::ExecutionTime => solo.iter().cloned().fold(0.0, f64::max),
+                    Objective::ComputerTime => {
+                        // sum of solo computer times
+                        r.components
+                            .iter()
+                            .zip(solo)
+                            .map(|(c, s)| s * (c.nodes * 36) as f64 / 3600.0)
+                            .sum()
+                    }
+                })
+                .collect();
+            let rho = spearman(&vals.clone(), &acm);
+            let recall = |k: usize| -> f64 {
+                let top = |v: &[f64]| -> Vec<usize> {
+                    let mut idx: Vec<usize> = (0..v.len()).collect();
+                    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
+                    idx.truncate(k);
+                    idx
+                };
+                let t_truth = top(&vals);
+                let t_acm = top(&acm);
+                t_acm.iter().filter(|i| t_truth.contains(i)).count() as f64 / k as f64 * 100.0
+            };
+            let rec: Vec<f64> = [1, 3, 5, 10, 25].iter().map(|&k| recall(k)).collect();
+            vals.sort_by(|a, b| a.total_cmp(b));
+            let n = vals.len();
+            let expert_cfg = expert_config(&wf.name, obj).unwrap();
+            let expert = sim.run(&wf, &expert_cfg, 0).unwrap().objective(obj);
+            println!(
+                "{} {:5}: best {:9.2} p10 {:9.2} med {:9.2} worst {:10.2} | expert {:9.2} | acm rho {:.3} recall@1/3/5/10/25 {:?} | accept {:.3}",
+                wf.name, obj.label(), vals[0], vals[n/10], vals[n/2], vals[n-1], expert, rho, rec, accept
+            );
+        }
+    }
+}
+
+fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    fn ranks(v: &[f64]) -> Vec<f64> {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&x, &y| v[x].total_cmp(&v[y]));
+        let mut r = vec![0.0; v.len()];
+        for (pos, &i) in idx.iter().enumerate() {
+            r[i] = pos as f64;
+        }
+        r
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        num += (x - mean) * (y - mean);
+        da += (x - mean) * (x - mean);
+        db += (y - mean) * (y - mean);
+    }
+    num / (da.sqrt() * db.sqrt())
+}

@@ -1,0 +1,17 @@
+//! The eight component applications, one module each.
+
+mod grayscott;
+mod heat;
+mod lammps;
+mod pdfcalc;
+mod plot;
+mod stagewrite;
+mod voro;
+
+pub use grayscott::GrayScott;
+pub use heat::Heat;
+pub use lammps::Lammps;
+pub use pdfcalc::PdfCalc;
+pub use plot::Plotter;
+pub use stagewrite::StageWrite;
+pub use voro::Voro;

@@ -1,0 +1,184 @@
+//! A 2-D Gray-Scott reaction-diffusion kernel (Gray-Scott mini-app
+//! stand-in).
+//!
+//! Two species `u` (substrate) and `v` (activator) evolve under
+//!
+//! ```text
+//! du/dt = Du ∇²u − u v² + F (1 − u)
+//! dv/dt = Dv ∇²v + u v² − (F + k) v
+//! ```
+//!
+//! with periodic boundaries. The classic parameter sets produce spots and
+//! stripes; the invariant tests pin the physically meaningful range of the
+//! concentrations and the fixed point of the homogeneous state.
+
+/// A periodic 2-D Gray-Scott field pair.
+#[derive(Debug, Clone)]
+pub struct GrayScottGrid {
+    n: usize,
+    /// Substrate diffusion coefficient.
+    pub du: f64,
+    /// Activator diffusion coefficient.
+    pub dv: f64,
+    /// Feed rate F.
+    pub feed: f64,
+    /// Kill rate k.
+    pub kill: f64,
+    /// Timestep.
+    pub dt: f64,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    u_next: Vec<f64>,
+    v_next: Vec<f64>,
+}
+
+impl GrayScottGrid {
+    /// Creates an `n × n` field at the trivial steady state (`u = 1`,
+    /// `v = 0`) with classic spot-forming parameters.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 4, "grid must be at least 4x4");
+        Self {
+            n,
+            du: 0.16,
+            dv: 0.08,
+            feed: 0.035,
+            kill: 0.065,
+            dt: 1.0,
+            u: vec![1.0; n * n],
+            v: vec![0.0; n * n],
+            u_next: vec![0.0; n * n],
+            v_next: vec![0.0; n * n],
+        }
+    }
+
+    /// Grid side length.
+    pub fn side(&self) -> usize {
+        self.n
+    }
+
+    /// Seeds a square patch of activator centered at `(row, col)`.
+    pub fn seed(&mut self, row: usize, col: usize, half: usize) {
+        for r in row.saturating_sub(half)..(row + half + 1).min(self.n) {
+            for c in col.saturating_sub(half)..(col + half + 1).min(self.n) {
+                self.u[r * self.n + c] = 0.5;
+                self.v[r * self.n + c] = 0.25;
+            }
+        }
+    }
+
+    /// The substrate field `u`, row-major.
+    pub fn u(&self) -> &[f64] {
+        &self.u
+    }
+
+    /// The activator field `v`, row-major.
+    pub fn v(&self) -> &[f64] {
+        &self.v
+    }
+
+    fn lap(field: &[f64], n: usize, r: usize, c: usize) -> f64 {
+        let up = field[((r + n - 1) % n) * n + c];
+        let down = field[((r + 1) % n) * n + c];
+        let left = field[r * n + (c + n - 1) % n];
+        let right = field[r * n + (c + 1) % n];
+        up + down + left + right - 4.0 * field[r * n + c]
+    }
+
+    /// Advances one explicit Euler step (parallel over rows).
+    pub fn step(&mut self) {
+        let n = self.n;
+        let (du, dv, f, k, dt) = (self.du, self.dv, self.feed, self.kill, self.dt);
+        let u = &self.u;
+        let v = &self.v;
+        let rows: Vec<usize> = (0..n).collect();
+        let updated = ceal_par::parallel_map(&rows, |&r| {
+            let mut row = Vec::with_capacity(2 * n);
+            for c in 0..n {
+                let uu = u[r * n + c];
+                let vv = v[r * n + c];
+                let react = uu * vv * vv;
+                let nu = uu + dt * (du * Self::lap(u, n, r, c) - react + f * (1.0 - uu));
+                let nv = vv + dt * (dv * Self::lap(v, n, r, c) + react - (f + k) * vv);
+                row.push(nu);
+                row.push(nv);
+            }
+            row
+        });
+        for (r, row) in updated.into_iter().enumerate() {
+            for c in 0..n {
+                self.u_next[r * n + c] = row[2 * c];
+                self.v_next[r * n + c] = row[2 * c + 1];
+            }
+        }
+        std::mem::swap(&mut self.u, &mut self.u_next);
+        std::mem::swap(&mut self.v, &mut self.v_next);
+    }
+
+    /// Serializes the `u` field as the frame Gray-Scott streams downstream.
+    pub fn frame_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.u.len() * 8);
+        for x in &self.u {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_state_is_fixed() {
+        let mut g = GrayScottGrid::new(16);
+        g.step();
+        for (&u, &v) in g.u().iter().zip(g.v()) {
+            assert!((u - 1.0).abs() < 1e-12 && v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn concentrations_stay_physical() {
+        let mut g = GrayScottGrid::new(32);
+        g.seed(16, 16, 3);
+        for _ in 0..500 {
+            g.step();
+        }
+        for (&u, &v) in g.u().iter().zip(g.v()) {
+            assert!((-0.01..=1.01).contains(&u), "u escaped: {u}");
+            assert!((-0.01..=1.01).contains(&v), "v escaped: {v}");
+        }
+    }
+
+    #[test]
+    fn seeded_pattern_spreads() {
+        let mut g = GrayScottGrid::new(48);
+        g.seed(24, 24, 2);
+        for _ in 0..800 {
+            g.step();
+        }
+        // Activator should exist beyond the original 5x5 seed patch.
+        let active: usize = g.v().iter().filter(|&&v| v > 0.05).count();
+        assert!(active > 25, "pattern failed to grow: {active} active cells");
+    }
+
+    #[test]
+    fn frame_matches_grid_size() {
+        let g = GrayScottGrid::new(20);
+        assert_eq!(g.frame_bytes().len(), 400 * 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = GrayScottGrid::new(24);
+        let mut b = GrayScottGrid::new(24);
+        a.seed(10, 10, 2);
+        b.seed(10, 10, 2);
+        for _ in 0..50 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.u(), b.u());
+        assert_eq!(a.v(), b.v());
+    }
+}

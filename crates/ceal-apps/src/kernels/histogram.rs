@@ -1,0 +1,175 @@
+//! A histogram / probability-density kernel (PDF calculator stand-in).
+//!
+//! The GP workflow's PDF calculator reduces each Gray-Scott frame to a
+//! per-slice probability density of the `u` field. This kernel implements
+//! exactly that reduction: fixed-range binning, per-slice, with the counts
+//! normalized to a density whose integral is 1.
+
+/// A fixed-range histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub lo: f64,
+    /// Exclusive upper edge of the last bin (values at `hi` land in the
+    /// last bin).
+    pub hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(bins: usize, lo: f64, hi: f64) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "invalid range");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one sample; out-of-range samples clamp into the edge bins
+    /// (matching the mini-app, which never drops data).
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every sample in `xs`.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The probability density per bin: integrates to 1 over `[lo, hi]`
+    /// (all zeros when empty).
+    pub fn density(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        let bin_width = (self.hi - self.lo) / self.counts.len() as f64;
+        let norm = 1.0 / (self.total as f64 * bin_width);
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+
+    /// Merges another histogram with identical binning.
+    ///
+    /// # Panics
+    /// Panics on binning mismatch.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        assert!(self.lo == other.lo && self.hi == other.hi, "range mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// Computes per-slice PDFs of a row-major field: one histogram per row
+/// (the "slice" of the mini-app), in parallel.
+pub fn slice_pdfs(field: &[f64], side: usize, bins: usize, lo: f64, hi: f64) -> Vec<Histogram> {
+    assert_eq!(field.len(), side * side, "field must be side×side");
+    let rows: Vec<usize> = (0..side).collect();
+    ceal_par::parallel_map(&rows, |&r| {
+        let mut h = Histogram::new(bins, lo, hi);
+        h.add_all(&field[r * side..(r + 1) * side]);
+        h
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_samples() {
+        let mut h = Histogram::new(10, 0.0, 1.0);
+        h.add_all(&[0.05, 0.15, 0.95, 0.5, 2.0, -1.0]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts().iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let mut h = Histogram::new(4, 0.0, 1.0);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(16, 0.0, 2.0);
+        for i in 0..1000 {
+            h.add((i as f64 / 1000.0) * 2.0);
+        }
+        let bin_width = 2.0 / 16.0;
+        let integral: f64 = h.density().iter().map(|d| d * bin_width).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_density_is_zero() {
+        let h = Histogram::new(8, 0.0, 1.0);
+        assert!(h.density().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(4, 0.0, 1.0);
+        let mut b = Histogram::new(4, 0.0, 1.0);
+        a.add(0.1);
+        b.add(0.9);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.counts()[0], 1);
+        assert_eq!(a.counts()[3], 1);
+    }
+
+    #[test]
+    fn slice_pdfs_cover_every_row() {
+        let side = 8;
+        let field: Vec<f64> = (0..side * side)
+            .map(|i| (i % side) as f64 / side as f64)
+            .collect();
+        let pdfs = slice_pdfs(&field, side, 8, 0.0, 1.0);
+        assert_eq!(pdfs.len(), side);
+        for pdf in &pdfs {
+            assert_eq!(pdf.total(), side as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(4, 0.0, 1.0);
+        let b = Histogram::new(8, 0.0, 1.0);
+        a.merge(&b);
+    }
+}

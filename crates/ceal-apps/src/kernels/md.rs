@@ -1,0 +1,335 @@
+//! A cell-list Lennard-Jones molecular-dynamics kernel (LAMMPS stand-in).
+//!
+//! Velocity-Verlet integration of N particles in a periodic cubic box with
+//! a truncated-and-shifted LJ 12-6 potential. Forces are computed with a
+//! linked-cell neighbor search (O(N) per step for homogeneous systems) and
+//! parallelized over atoms with `ceal-par`.
+//!
+//! Reduced LJ units throughout (σ = ε = m = 1).
+
+use ceal_par::parallel_map_indexed;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Cutoff radius in σ.
+const CUTOFF: f64 = 2.5;
+
+/// State of an MD system.
+#[derive(Debug, Clone)]
+pub struct MdSystem {
+    /// Particle positions, wrapped into `[0, box_len)³`.
+    pub positions: Vec<[f64; 3]>,
+    /// Particle velocities.
+    pub velocities: Vec<[f64; 3]>,
+    forces: Vec<[f64; 3]>,
+    /// Periodic box edge length.
+    pub box_len: f64,
+    /// Integration timestep.
+    pub dt: f64,
+}
+
+impl MdSystem {
+    /// Creates a lattice-initialized system of `n` particles at the given
+    /// number density, with small random velocities (zeroed net momentum).
+    pub fn new(n: usize, density: f64, dt: f64, seed: u64) -> Self {
+        assert!(n > 0 && density > 0.0);
+        let box_len = (n as f64 / density).cbrt();
+        let per_side = (n as f64).cbrt().ceil() as usize;
+        let spacing = box_len / per_side as f64;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let mut positions = Vec::with_capacity(n);
+        'fill: for x in 0..per_side {
+            for y in 0..per_side {
+                for z in 0..per_side {
+                    if positions.len() == n {
+                        break 'fill;
+                    }
+                    positions.push([
+                        (x as f64 + 0.5) * spacing,
+                        (y as f64 + 0.5) * spacing,
+                        (z as f64 + 0.5) * spacing,
+                    ]);
+                }
+            }
+        }
+
+        let mut velocities: Vec<[f64; 3]> = (0..n)
+            .map(|_| [0.0; 3].map(|_: f64| rng.gen_range(-0.5..0.5)))
+            .collect();
+        // Remove net momentum so the center of mass stays put.
+        let mut mean = [0.0f64; 3];
+        for v in &velocities {
+            for d in 0..3 {
+                mean[d] += v[d];
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        for v in &mut velocities {
+            for d in 0..3 {
+                v[d] -= mean[d];
+            }
+        }
+
+        let mut sys = Self {
+            positions,
+            velocities,
+            forces: vec![[0.0; 3]; n],
+            box_len,
+            dt,
+        };
+        sys.forces = sys.compute_forces();
+        sys
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the system holds no particles (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    fn minimum_image(&self, mut d: f64) -> f64 {
+        let l = self.box_len;
+        if d > 0.5 * l {
+            d -= l;
+        } else if d < -0.5 * l {
+            d += l;
+        }
+        d
+    }
+
+    /// Builds the linked-cell table: cell index per particle and the
+    /// particle lists per cell.
+    fn build_cells(&self) -> (usize, Vec<Vec<u32>>) {
+        let n_cells_side = ((self.box_len / CUTOFF).floor() as usize).max(1);
+        let cell_len = self.box_len / n_cells_side as f64;
+        let mut cells = vec![Vec::new(); n_cells_side * n_cells_side * n_cells_side];
+        for (i, p) in self.positions.iter().enumerate() {
+            let cx = ((p[0] / cell_len) as usize).min(n_cells_side - 1);
+            let cy = ((p[1] / cell_len) as usize).min(n_cells_side - 1);
+            let cz = ((p[2] / cell_len) as usize).min(n_cells_side - 1);
+            cells[(cx * n_cells_side + cy) * n_cells_side + cz].push(i as u32);
+        }
+        (n_cells_side, cells)
+    }
+
+    /// LJ force and potential on particle `i` from all neighbors.
+    fn force_on(&self, i: usize, n_side: usize, cells: &[Vec<u32>]) -> ([f64; 3], f64) {
+        let cell_len = self.box_len / n_side as f64;
+        let p = self.positions[i];
+        let cx = ((p[0] / cell_len) as isize).min(n_side as isize - 1);
+        let cy = ((p[1] / cell_len) as isize).min(n_side as isize - 1);
+        let cz = ((p[2] / cell_len) as isize).min(n_side as isize - 1);
+        let rc2 = CUTOFF * CUTOFF;
+        // Potential shift so U(rc) = 0.
+        let shift = 4.0 * (CUTOFF.powi(-12) - CUTOFF.powi(-6));
+
+        let mut f = [0.0f64; 3];
+        let mut u = 0.0f64;
+        let n = n_side as isize;
+        // With fewer than 3 cells per side the ±1 offsets alias; dedup the
+        // neighbor cell set to avoid double-counting pairs.
+        let mut neighbor_cells: Vec<usize> = Vec::with_capacity(27);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    let gx = (cx + dx).rem_euclid(n) as usize;
+                    let gy = (cy + dy).rem_euclid(n) as usize;
+                    let gz = (cz + dz).rem_euclid(n) as usize;
+                    neighbor_cells.push((gx * n_side + gy) * n_side + gz);
+                }
+            }
+        }
+        neighbor_cells.sort_unstable();
+        neighbor_cells.dedup();
+        for &cell in &neighbor_cells {
+            for &j in &cells[cell] {
+                let j = j as usize;
+                if j == i {
+                    continue;
+                }
+                let q = self.positions[j];
+                let r = [
+                    self.minimum_image(p[0] - q[0]),
+                    self.minimum_image(p[1] - q[1]),
+                    self.minimum_image(p[2] - q[2]),
+                ];
+                let r2 = r[0] * r[0] + r[1] * r[1] + r[2] * r[2];
+                if r2 >= rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let inv2 = 1.0 / r2;
+                let inv6 = inv2 * inv2 * inv2;
+                // dU/dr / r = -24 (2 r^-12 - r^-6) / r²
+                let fac = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+                for d in 0..3 {
+                    f[d] += fac * r[d];
+                }
+                // Half: each pair counted from both sides.
+                u += 0.5 * (4.0 * inv6 * (inv6 - 1.0) - shift);
+            }
+        }
+        (f, u)
+    }
+
+    /// Computes forces on all particles (parallel over atoms).
+    fn compute_forces(&self) -> Vec<[f64; 3]> {
+        let (n_side, cells) = self.build_cells();
+        let idx: Vec<usize> = (0..self.len()).collect();
+        parallel_map_indexed(&idx, |_, &i| self.force_on(i, n_side, &cells).0)
+    }
+
+    /// Total potential energy.
+    pub fn potential_energy(&self) -> f64 {
+        let (n_side, cells) = self.build_cells();
+        let idx: Vec<usize> = (0..self.len()).collect();
+        parallel_map_indexed(&idx, |_, &i| self.force_on(i, n_side, &cells).1)
+            .iter()
+            .sum()
+    }
+
+    /// Total kinetic energy.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.velocities
+            .iter()
+            .map(|v| 0.5 * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+
+    /// Net momentum vector.
+    pub fn momentum(&self) -> [f64; 3] {
+        let mut m = [0.0; 3];
+        for v in &self.velocities {
+            for d in 0..3 {
+                m[d] += v[d];
+            }
+        }
+        m
+    }
+
+    /// Advances one velocity-Verlet step.
+    pub fn step(&mut self) {
+        let n = self.len();
+        let dt = self.dt;
+        for i in 0..n {
+            for d in 0..3 {
+                self.velocities[i][d] += 0.5 * dt * self.forces[i][d];
+                self.positions[i][d] =
+                    (self.positions[i][d] + dt * self.velocities[i][d]).rem_euclid(self.box_len);
+            }
+        }
+        self.forces = self.compute_forces();
+        for i in 0..n {
+            for d in 0..3 {
+                self.velocities[i][d] += 0.5 * dt * self.forces[i][d];
+            }
+        }
+    }
+
+    /// Serializes positions + velocities as the 48-byte-per-atom snapshot
+    /// LAMMPS streams to Voro++ (little-endian f64 triples).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.len() * 48);
+        for (p, v) in self.positions.iter().zip(&self.velocities) {
+            for x in p.iter().chain(v) {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MdSystem {
+        MdSystem::new(125, 0.5, 0.002, 42)
+    }
+
+    #[test]
+    fn initial_momentum_is_zero() {
+        let m = small().momentum();
+        for d in m {
+            assert!(d.abs() < 1e-10, "net momentum {m:?}");
+        }
+    }
+
+    #[test]
+    fn momentum_is_conserved_over_steps() {
+        let mut sys = small();
+        for _ in 0..20 {
+            sys.step();
+        }
+        let m = sys.momentum();
+        for d in m {
+            assert!(d.abs() < 1e-8, "momentum drifted: {m:?}");
+        }
+    }
+
+    #[test]
+    fn energy_drift_is_bounded() {
+        let mut sys = small();
+        let e0 = sys.potential_energy() + sys.kinetic_energy();
+        for _ in 0..50 {
+            sys.step();
+        }
+        let e1 = sys.potential_energy() + sys.kinetic_energy();
+        let scale = e0.abs().max(sys.len() as f64);
+        assert!(
+            (e1 - e0).abs() / scale < 0.05,
+            "energy drifted from {e0} to {e1}"
+        );
+    }
+
+    #[test]
+    fn positions_stay_in_box() {
+        let mut sys = small();
+        for _ in 0..30 {
+            sys.step();
+        }
+        for p in &sys.positions {
+            for &x in p {
+                assert!(x >= 0.0 && x < sys.box_len);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_48_bytes_per_atom() {
+        let sys = small();
+        assert_eq!(sys.snapshot().len(), 125 * 48);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = MdSystem::new(64, 0.4, 0.002, 7);
+        let mut b = MdSystem::new(64, 0.4, 0.002, 7);
+        for _ in 0..5 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn particles_repel_at_close_range() {
+        // Two particles closer than the LJ minimum must push apart.
+        let mut sys = MdSystem::new(8, 0.01, 0.001, 0);
+        sys.positions[0] = [5.0, 5.0, 5.0];
+        sys.positions[1] = [6.0, 5.0, 5.0]; // r = 1.0 < 2^(1/6)
+        for v in &mut sys.velocities {
+            *v = [0.0; 3];
+        }
+        sys.forces = sys.compute_forces();
+        sys.step();
+        let d0 = sys.positions[1][0] - sys.positions[0][0];
+        assert!(d0 > 1.0, "repulsion should separate the pair: {d0}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Real miniature computational kernels.
+//!
+//! The simulator's cost models describe how the paper's applications *scale*;
+//! these kernels implement what they *compute*, at laptop scale. They are
+//! exercised by the runnable in-process workflows (`ceal-staging`) and the
+//! examples, and their unit tests pin down the physical invariants each
+//! computation must satisfy (energy behaviour, conservation, partition of
+//! volume, normalization).
+//!
+//! | kernel | stands in for | invariant tested |
+//! |---|---|---|
+//! | [`md`] | LAMMPS | momentum conservation, bounded energy drift |
+//! | [`voronoi`] | Voro++ | cell volumes partition the box exactly |
+//! | [`stencil`] | Heat Transfer | heat conservation, max principle |
+//! | [`grayscott`] | Gray-Scott | concentrations stay in physical range |
+//! | [`histogram`] | PDF calculator | counts sum to N, density integrates to 1 |
+
+pub mod grayscott;
+pub mod histogram;
+pub mod md;
+pub mod stencil;
+pub mod voronoi;

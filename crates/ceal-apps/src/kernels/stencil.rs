@@ -1,0 +1,166 @@
+//! A 2-D heat-equation Jacobi kernel (Heat Transfer stand-in).
+//!
+//! Explicit finite-difference diffusion on a square grid with insulated
+//! (zero-flux) boundaries, double-buffered, with the row loop parallelized
+//! via `ceal-par`. Invariants: total heat is conserved exactly (up to float
+//! error) and the solution obeys the discrete maximum principle for stable
+//! `alpha ≤ 0.25`.
+
+/// A 2-D heat field advanced by Jacobi iterations.
+#[derive(Debug, Clone)]
+pub struct HeatGrid {
+    n: usize,
+    /// Diffusion number `α = κ·dt/dx²`; stable for `α ≤ 0.25`.
+    pub alpha: f64,
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl HeatGrid {
+    /// Creates an `n × n` grid filled with `background`, requiring `n ≥ 3`.
+    pub fn new(n: usize, alpha: f64, background: f64) -> Self {
+        assert!(n >= 3, "grid must be at least 3x3");
+        Self {
+            n,
+            alpha,
+            cur: vec![background; n * n],
+            next: vec![background; n * n],
+        }
+    }
+
+    /// Grid side length.
+    pub fn side(&self) -> usize {
+        self.n
+    }
+
+    /// Sets cell `(row, col)` to `value`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.cur[row * self.n + col] = value;
+    }
+
+    /// Reads cell `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.cur[row * self.n + col]
+    }
+
+    /// The raw field, row-major.
+    pub fn field(&self) -> &[f64] {
+        &self.cur
+    }
+
+    /// Total heat in the grid.
+    pub fn total_heat(&self) -> f64 {
+        self.cur.iter().sum()
+    }
+
+    /// Advances one Jacobi step with insulated boundaries.
+    pub fn step(&mut self) {
+        let n = self.n;
+        let alpha = self.alpha;
+        let cur = &self.cur;
+        // Clamped (mirror) indexing implements zero-flux boundaries.
+        let at = |r: isize, c: isize| -> f64 {
+            let r = r.clamp(0, n as isize - 1) as usize;
+            let c = c.clamp(0, n as isize - 1) as usize;
+            cur[r * n + c]
+        };
+        let rows: Vec<usize> = (0..n).collect();
+        let new_rows = ceal_par::parallel_map(&rows, |&r| {
+            let mut row = Vec::with_capacity(n);
+            for c in 0..n {
+                let (ri, ci) = (r as isize, c as isize);
+                let center = at(ri, ci);
+                let lap = at(ri - 1, ci) + at(ri + 1, ci) + at(ri, ci - 1) + at(ri, ci + 1)
+                    - 4.0 * center;
+                row.push(center + alpha * lap);
+            }
+            row
+        });
+        for (r, row) in new_rows.into_iter().enumerate() {
+            self.next[r * n..(r + 1) * n].copy_from_slice(&row);
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// Serializes the field as the state emission Heat Transfer streams to
+    /// Stage Write (little-endian f64, row-major).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.cur.len() * 8);
+        for v in &self.cur {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_spot(n: usize) -> HeatGrid {
+        let mut g = HeatGrid::new(n, 0.2, 0.0);
+        g.set(n / 2, n / 2, 100.0);
+        g
+    }
+
+    #[test]
+    fn heat_is_conserved() {
+        let mut g = hot_spot(33);
+        let before = g.total_heat();
+        for _ in 0..50 {
+            g.step();
+        }
+        let after = g.total_heat();
+        assert!(
+            (before - after).abs() < 1e-9,
+            "heat leaked: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn maximum_principle_holds() {
+        let mut g = hot_spot(17);
+        for _ in 0..30 {
+            g.step();
+            for &v in g.field() {
+                assert!((-1e-12..=100.0 + 1e-12).contains(&v), "out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn heat_spreads_outward() {
+        let mut g = hot_spot(21);
+        let corner_before = g.get(0, 0);
+        for _ in 0..200 {
+            g.step();
+        }
+        assert!(g.get(0, 0) > corner_before);
+        assert!(g.get(10, 10) < 100.0);
+    }
+
+    #[test]
+    fn uniform_field_is_a_fixed_point() {
+        let mut g = HeatGrid::new(9, 0.25, 7.0);
+        g.step();
+        for &v in g.field() {
+            assert!((v - 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn state_bytes_round_trip() {
+        let g = hot_spot(5);
+        let bytes = g.state_bytes();
+        assert_eq!(bytes.len(), 25 * 8);
+        let mid = 8 * (2 * 5 + 2);
+        let v = f64::from_le_bytes(bytes[mid..mid + 8].try_into().unwrap());
+        assert_eq!(v, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3x3")]
+    fn rejects_tiny_grids() {
+        HeatGrid::new(2, 0.1, 0.0);
+    }
+}

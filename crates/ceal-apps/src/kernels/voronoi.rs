@@ -1,0 +1,195 @@
+//! A Voronoi cell-volume estimator (Voro++ stand-in).
+//!
+//! Voro++ computes the exact Voronoi tessellation of the atom positions;
+//! for the streaming analysis what matters downstream is the per-atom cell
+//! *volume* distribution. This kernel estimates volumes by sampling the
+//! periodic box on a regular lattice and assigning each sample point to
+//! its nearest site, accelerated by a uniform grid of site bins.
+//!
+//! Invariant: every sample belongs to exactly one site, so the estimated
+//! volumes always partition the box volume exactly.
+
+/// Per-site Voronoi cell volume estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoronoiVolumes {
+    /// Estimated cell volume per site (same order as input sites).
+    pub volumes: Vec<f64>,
+    /// Sample lattice resolution used per axis.
+    pub resolution: usize,
+}
+
+/// Minimum-image displacement in a periodic box.
+fn min_image(mut d: f64, box_len: f64) -> f64 {
+    if d > 0.5 * box_len {
+        d -= box_len;
+    } else if d < -0.5 * box_len {
+        d += box_len;
+    }
+    d
+}
+
+/// Estimates Voronoi cell volumes of `sites` in a periodic cube of edge
+/// `box_len` by nearest-site assignment of `resolution³` lattice samples.
+///
+/// # Panics
+/// Panics if `sites` is empty or `resolution == 0`.
+pub fn estimate_volumes(sites: &[[f64; 3]], box_len: f64, resolution: usize) -> VoronoiVolumes {
+    assert!(!sites.is_empty(), "need at least one site");
+    assert!(resolution > 0, "resolution must be positive");
+
+    // Bin sites into a coarse grid so each sample only scans nearby bins.
+    let bins_side = ((sites.len() as f64).cbrt().ceil() as usize).clamp(1, 64);
+    let bin_len = box_len / bins_side as f64;
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); bins_side * bins_side * bins_side];
+    let bin_of = |p: &[f64; 3]| -> usize {
+        let bx = ((p[0] / bin_len) as usize).min(bins_side - 1);
+        let by = ((p[1] / bin_len) as usize).min(bins_side - 1);
+        let bz = ((p[2] / bin_len) as usize).min(bins_side - 1);
+        (bx * bins_side + by) * bins_side + bz
+    };
+    for (i, s) in sites.iter().enumerate() {
+        bins[bin_of(s)].push(i as u32);
+    }
+
+    let cell = box_len / resolution as f64;
+    let sample_volume = cell * cell * cell;
+
+    // Parallel over sample planes: each plane independently tallies counts.
+    let planes: Vec<usize> = (0..resolution).collect();
+    let partials = ceal_par::parallel_map(&planes, |&ix| {
+        let mut counts = vec![0u64; sites.len()];
+        let x = (ix as f64 + 0.5) * cell;
+        for iy in 0..resolution {
+            let y = (iy as f64 + 0.5) * cell;
+            for iz in 0..resolution {
+                let z = (iz as f64 + 0.5) * cell;
+                let p = [x, y, z];
+                // Search rings of bins outward until a site is found, then
+                // one extra ring to guarantee correctness near boundaries.
+                let bx = ((p[0] / bin_len) as isize).min(bins_side as isize - 1);
+                let by = ((p[1] / bin_len) as isize).min(bins_side as isize - 1);
+                let bz = ((p[2] / bin_len) as isize).min(bins_side as isize - 1);
+                let mut best = usize::MAX;
+                let mut best_d2 = f64::INFINITY;
+                let max_ring = bins_side as isize;
+                let mut found_ring: Option<isize> = None;
+                let mut ring = 0isize;
+                while ring <= max_ring {
+                    if let Some(fr) = found_ring {
+                        if ring > fr + 1 {
+                            break;
+                        }
+                    }
+                    let mut any = false;
+                    for dx in -ring..=ring {
+                        for dy in -ring..=ring {
+                            for dz in -ring..=ring {
+                                // Only the shell of the ring.
+                                if dx.abs().max(dy.abs()).max(dz.abs()) != ring {
+                                    continue;
+                                }
+                                let gx = (bx + dx).rem_euclid(bins_side as isize) as usize;
+                                let gy = (by + dy).rem_euclid(bins_side as isize) as usize;
+                                let gz = (bz + dz).rem_euclid(bins_side as isize) as usize;
+                                for &si in &bins[(gx * bins_side + gy) * bins_side + gz] {
+                                    any = true;
+                                    let s = &sites[si as usize];
+                                    let r = [
+                                        min_image(p[0] - s[0], box_len),
+                                        min_image(p[1] - s[1], box_len),
+                                        min_image(p[2] - s[2], box_len),
+                                    ];
+                                    let d2 = r[0] * r[0] + r[1] * r[1] + r[2] * r[2];
+                                    if d2 < best_d2 {
+                                        best_d2 = d2;
+                                        best = si as usize;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if any && found_ring.is_none() {
+                        found_ring = Some(ring);
+                    }
+                    ring += 1;
+                }
+                counts[best] += 1;
+            }
+        }
+        counts
+    });
+
+    let mut volumes = vec![0.0; sites.len()];
+    for counts in partials {
+        for (v, c) in volumes.iter_mut().zip(counts) {
+            *v += c as f64 * sample_volume;
+        }
+    }
+    VoronoiVolumes {
+        volumes,
+        resolution,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn volumes_partition_the_box() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sites: Vec<[f64; 3]> = (0..40)
+            .map(|_| [0.0; 3].map(|_: f64| rng.gen_range(0.0..10.0)))
+            .collect();
+        let v = estimate_volumes(&sites, 10.0, 24);
+        let total: f64 = v.volumes.iter().sum();
+        assert!(
+            (total - 1000.0).abs() < 1e-9,
+            "volumes must sum to box: {total}"
+        );
+    }
+
+    #[test]
+    fn single_site_owns_everything() {
+        let v = estimate_volumes(&[[1.0, 2.0, 3.0]], 8.0, 10);
+        assert_eq!(v.volumes.len(), 1);
+        assert!((v.volumes[0] - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn symmetric_pair_splits_evenly() {
+        // Two sites mirror-symmetric in x split the box in half.
+        let sites = [[2.0, 4.0, 4.0], [6.0, 4.0, 4.0]];
+        let v = estimate_volumes(&sites, 8.0, 32);
+        assert!(
+            (v.volumes[0] - v.volumes[1]).abs() < 1e-9,
+            "{:?}",
+            v.volumes
+        );
+    }
+
+    #[test]
+    fn denser_region_gets_smaller_cells() {
+        // Three clustered sites + one lone site: the lone site's cell is
+        // the largest.
+        let sites = [
+            [1.0, 1.0, 1.0],
+            [1.2, 1.0, 1.0],
+            [1.0, 1.2, 1.0],
+            [7.0, 7.0, 7.0],
+        ];
+        let v = estimate_volumes(&sites, 8.0, 32);
+        let lone = v.volumes[3];
+        for &clustered in &v.volumes[..3] {
+            assert!(lone > clustered, "lone {lone} vs clustered {clustered}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn rejects_empty_sites() {
+        estimate_volumes(&[], 1.0, 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! The shared parallel-performance model for component applications.
+//!
+//! Every component's per-step compute time follows the same structure —
+//! Amdahl serial fraction, near-linear parallel part, communication that
+//! grows with process count, and two packing penalties the tuner must
+//! trade off:
+//!
+//! * **memory-bandwidth contention** — packing more busy cores per node
+//!   slows memory-bound code (fewer nodes = cheaper computer time, but
+//!   slower steps);
+//! * **oversubscription** — `ppn × threads` beyond the physical cores
+//!   thrashes (superlinear penalty).
+//!
+//! This yields the qualitative landscape the paper's workloads exhibit:
+//! execution time is U-shaped in process count (compute shrinks,
+//! communication grows), the execution-time optimum uses moderate packing
+//! while the computer-time optimum packs nodes hard, and thread counts
+//! interact with packing through the oversubscription term.
+
+use ceal_sim::Platform;
+
+/// Parameters of the compute-time model for one application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingModel {
+    /// Serial seconds of work per step on one core.
+    pub serial_seconds: f64,
+    /// Amdahl serial fraction (non-parallelizable share).
+    pub serial_fraction: f64,
+    /// Per-extra-thread overhead in the intra-process speedup
+    /// `threads / (1 + overhead·(threads−1))`.
+    pub thread_overhead: f64,
+    /// Halo-exchange cost at one process, seconds; decays as `procs^(2/3)`
+    /// (surface-to-volume for 3-D domain decomposition).
+    pub halo_seconds: f64,
+    /// Latency-bound messages per step (multiplied by `ln(1+procs)`).
+    pub msgs_per_step: f64,
+    /// Sensitivity to node packing: 0 = compute-bound, 1 = memory-bound.
+    pub mem_intensity: f64,
+}
+
+impl ScalingModel {
+    /// Per-step compute time under the given placement.
+    ///
+    /// `procs`/`ppn`/`threads` are clamped to at least 1.
+    pub fn step_time(&self, platform: &Platform, procs: u64, ppn: u64, threads: u64) -> f64 {
+        let procs = procs.max(1) as f64;
+        let ppn = ppn.max(1) as f64;
+        let threads = threads.max(1) as f64;
+        let cores = platform.cores_per_node as f64;
+
+        let thread_speedup = threads / (1.0 + self.thread_overhead * (threads - 1.0));
+        let eff_procs = procs * thread_speedup;
+
+        // Busy cores on the fullest node.
+        let busy = ppn.min(procs) * threads;
+        let oversub = if busy > cores {
+            (busy / cores).powf(1.5)
+        } else {
+            1.0
+        };
+        let mem_factor =
+            1.0 + self.mem_intensity * (busy.min(cores) * platform.mem_bw_share - 1.0).max(0.0);
+
+        let serial = self.serial_seconds * self.serial_fraction;
+        let parallel =
+            self.serial_seconds * (1.0 - self.serial_fraction) * mem_factor * oversub / eff_procs;
+        let halo = self.halo_seconds / procs.powf(2.0 / 3.0);
+        let latency = platform.net_latency * self.msgs_per_step * (1.0 + procs).ln();
+        serial + parallel + halo + latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ScalingModel {
+        ScalingModel {
+            serial_seconds: 12.0,
+            serial_fraction: 0.0005,
+            thread_overhead: 0.25,
+            halo_seconds: 0.08,
+            msgs_per_step: 4.0,
+            mem_intensity: 0.35,
+        }
+    }
+
+    #[test]
+    fn more_procs_speed_up_until_communication_dominates() {
+        let p = Platform::default();
+        let m = model();
+        let t8 = m.step_time(&p, 8, 8, 1);
+        let t64 = m.step_time(&p, 64, 16, 1);
+        let t512 = m.step_time(&p, 512, 16, 1);
+        assert!(t64 < t8, "64 procs should beat 8: {t64} !< {t8}");
+        assert!(t512 < t64, "512 procs should beat 64 here");
+        // Serial floor: no configuration beats the Amdahl limit.
+        assert!(t512 > m.serial_seconds * m.serial_fraction);
+    }
+
+    #[test]
+    fn dense_packing_is_slower_per_step() {
+        let p = Platform::default();
+        let m = model();
+        // Same procs, more per node: fewer nodes but slower steps.
+        let sparse = m.step_time(&p, 128, 8, 1);
+        let dense = m.step_time(&p, 128, 32, 1);
+        assert!(
+            dense > sparse,
+            "packing penalty missing: {dense} !> {sparse}"
+        );
+    }
+
+    #[test]
+    fn oversubscription_hurts_superlinearly() {
+        let p = Platform::default();
+        let m = model();
+        let full = m.step_time(&p, 72, 36, 1); // 36 busy cores: at capacity
+        let over = m.step_time(&p, 72, 36, 2); // 72 busy: 2x oversubscribed
+        assert!(over > full, "oversubscription penalty missing");
+    }
+
+    #[test]
+    fn threads_help_when_cores_are_free() {
+        let p = Platform::default();
+        let m = model();
+        let t1 = m.step_time(&p, 64, 8, 1);
+        let t4 = m.step_time(&p, 64, 8, 4); // 32 busy cores, still < 36
+        assert!(t4 < t1, "threads should speed up underpacked nodes");
+    }
+
+    #[test]
+    fn clamps_zero_inputs() {
+        let p = Platform::default();
+        let m = model();
+        let t = m.step_time(&p, 0, 0, 0);
+        assert!(t.is_finite() && t > 0.0);
+        assert_eq!(t, m.step_time(&p, 1, 1, 1));
+    }
+
+    #[test]
+    fn monotone_in_serial_work() {
+        let p = Platform::default();
+        let mut m = model();
+        let t = m.step_time(&p, 16, 16, 1);
+        m.serial_seconds *= 2.0;
+        assert!(m.step_time(&p, 16, 16, 1) > t);
+    }
+}

@@ -1,0 +1,218 @@
+//! The three target workflows (paper §7.1, Tables 1–2).
+//!
+//! Configuration-vector layouts (component order matches the tuples the
+//! paper prints in Table 2):
+//!
+//! * **LV** — `[lammps.procs, lammps.ppn, lammps.threads,
+//!   voro.procs, voro.ppn, voro.threads]`
+//! * **HS** — `[heat.px, heat.py, heat.ppn, heat.outputs, heat.buffer_mb,
+//!   sw.procs, sw.ppn]`
+//! * **GP** — `[gs.procs, gs.ppn, pdf.procs, pdf.ppn, gplot.procs,
+//!   pplot.procs]`
+
+use crate::components::{GrayScott, Heat, Lammps, PdfCalc, Plotter, StageWrite, Voro};
+use ceal_sim::{Objective, WorkflowSpec};
+use std::sync::Arc;
+
+/// Allocation cap used by all experiments (paper §7.1).
+pub const MAX_NODES: u64 = 32;
+
+/// LV: LAMMPS → Voro++.
+pub fn lv() -> WorkflowSpec {
+    WorkflowSpec {
+        name: "LV".into(),
+        components: vec![Arc::new(Lammps::default()), Arc::new(Voro::default())],
+        edges: vec![(0, 1)],
+        max_nodes: MAX_NODES,
+    }
+}
+
+/// HS: Heat Transfer → Stage Write.
+pub fn hs() -> WorkflowSpec {
+    WorkflowSpec {
+        name: "HS".into(),
+        components: vec![Arc::new(Heat::default()), Arc::new(StageWrite::default())],
+        edges: vec![(0, 1)],
+        max_nodes: MAX_NODES,
+    }
+}
+
+/// GP: Gray-Scott → {PDF calculator → P-Plot, G-Plot}.
+pub fn gp() -> WorkflowSpec {
+    WorkflowSpec {
+        name: "GP".into(),
+        components: vec![
+            Arc::new(GrayScott::default()),
+            Arc::new(PdfCalc::default()),
+            Arc::new(Plotter::gplot()),
+            Arc::new(Plotter::pplot()),
+        ],
+        edges: vec![(0, 1), (0, 2), (1, 3)],
+        max_nodes: MAX_NODES,
+    }
+}
+
+/// All three workflows.
+pub fn all_workflows() -> Vec<WorkflowSpec> {
+    vec![lv(), hs(), gp()]
+}
+
+/// Looks a workflow up by its paper name ("LV", "HS", "GP"),
+/// case-insensitively.
+pub fn workflow_by_name(name: &str) -> Option<WorkflowSpec> {
+    match name.to_ascii_uppercase().as_str() {
+        "LV" => Some(lv()),
+        "HS" => Some(hs()),
+        "GP" => Some(gp()),
+        _ => None,
+    }
+}
+
+/// The expert-recommended configuration for a workflow and objective
+/// (paper Table 2).
+///
+/// One deviation: the paper prints GP's execution-time expert as
+/// `(525, 35, 525, 35, 1, 1)`, but 525 exceeds the PDF calculator's own
+/// Table 1 range (`1..512`); we use 490 (14 nodes at ppn 35), the largest
+/// on-grid choice with the same node count the paper's tuple implies.
+pub fn expert_config(workflow: &str, objective: Objective) -> Option<Vec<i64>> {
+    let cfg: &[i64] = match (workflow.to_ascii_uppercase().as_str(), objective) {
+        ("LV", Objective::ExecutionTime) => &[288, 18, 2, 288, 18, 2],
+        ("LV", Objective::ComputerTime) => &[18, 18, 2, 18, 18, 2],
+        ("HS", Objective::ExecutionTime) => &[32, 17, 34, 4, 20, 560, 35],
+        ("HS", Objective::ComputerTime) => &[8, 4, 32, 4, 20, 35, 35],
+        ("GP", Objective::ExecutionTime) => &[525, 35, 490, 35, 1, 1],
+        ("GP", Objective::ComputerTime) => &[35, 35, 35, 35, 1, 1],
+        _ => return None,
+    };
+    Some(cfg.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceal_sim::{Platform, Simulator};
+
+    #[test]
+    fn configuration_vector_layouts() {
+        assert_eq!(lv().n_params(), 6);
+        assert_eq!(hs().n_params(), 7);
+        assert_eq!(gp().n_params(), 6);
+    }
+
+    #[test]
+    fn space_sizes_are_astronomical() {
+        // The joint spaces are far larger than any component's (paper
+        // §2.3: "more than 10^5× larger").
+        assert!(lv().space_size() > 1e10);
+        assert!(hs().space_size() > 1e10);
+        assert!(gp().space_size() > 1e8);
+    }
+
+    #[test]
+    fn expert_configs_are_feasible() {
+        let platform = Platform::default();
+        for wf in all_workflows() {
+            for obj in [Objective::ExecutionTime, Objective::ComputerTime] {
+                let cfg = expert_config(&wf.name, obj).expect("expert exists");
+                assert!(
+                    wf.feasible(&platform, &cfg),
+                    "{} {} expert infeasible: {:?} ({} nodes)",
+                    wf.name,
+                    obj.label(),
+                    cfg,
+                    wf.total_nodes(&platform, &cfg)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expert_node_counts_match_paper() {
+        let platform = Platform::default();
+        // LV exec expert: 16 + 16 nodes.
+        assert_eq!(lv().total_nodes(&platform, &[288, 18, 2, 288, 18, 2]), 32);
+        // LV comp expert: 1 + 1.
+        assert_eq!(lv().total_nodes(&platform, &[18, 18, 2, 18, 18, 2]), 2);
+        // HS exec expert: 16 + 16.
+        assert_eq!(
+            hs().total_nodes(&platform, &[32, 17, 34, 4, 20, 560, 35]),
+            32
+        );
+        // GP comp expert: 1 + 1 + 1 + 1.
+        assert_eq!(gp().total_nodes(&platform, &[35, 35, 35, 35, 1, 1]), 4);
+    }
+
+    #[test]
+    fn workflows_simulate_end_to_end() {
+        let sim = Simulator::noiseless();
+        for wf in all_workflows() {
+            for obj in [Objective::ExecutionTime, Objective::ComputerTime] {
+                let cfg = expert_config(&wf.name, obj).unwrap();
+                let r = sim
+                    .run(&wf, &cfg, 0)
+                    .unwrap_or_else(|e| panic!("{}: {e}", wf.name));
+                assert!(r.exec_time > 1.0, "{} too fast: {}", wf.name, r.exec_time);
+                assert!(
+                    r.exec_time < 20_000.0,
+                    "{} too slow: {}",
+                    wf.name,
+                    r.exec_time
+                );
+                assert_eq!(r.components.len(), wf.components.len());
+            }
+        }
+    }
+
+    #[test]
+    fn gp_execution_is_near_gplot_bottleneck_for_good_configs() {
+        let sim = Simulator::noiseless();
+        let wf = gp();
+        let r = sim.run(&wf, &[175, 13, 24, 23, 1, 1], 0).unwrap();
+        // Paper: many GP configs land close to G-Plot alone (97.0 s).
+        assert!(
+            r.exec_time >= 97.0,
+            "cannot beat the serial bottleneck: {}",
+            r.exec_time
+        );
+        assert!(
+            r.exec_time < 140.0,
+            "should be close to the bottleneck: {}",
+            r.exec_time
+        );
+    }
+
+    #[test]
+    fn lv_expert_lands_in_tens_of_seconds() {
+        let sim = Simulator::noiseless();
+        let r = sim.run(&lv(), &[288, 18, 2, 288, 18, 2], 0).unwrap();
+        // Paper Table 2: 36.8 s; same order of magnitude is what we claim.
+        assert!(
+            r.exec_time > 5.0 && r.exec_time < 200.0,
+            "LV expert exec {}",
+            r.exec_time
+        );
+    }
+
+    #[test]
+    fn solo_runs_work_for_every_component() {
+        let sim = Simulator::noiseless();
+        for wf in all_workflows() {
+            let ranges = wf.param_ranges();
+            let cfg = expert_config(&wf.name, Objective::ExecutionTime).unwrap();
+            for (i, range) in ranges.iter().enumerate() {
+                let vals = &cfg[range.clone()];
+                let solo = sim.run_solo(&wf, i, vals, 0).unwrap();
+                assert!(solo.exec_time > 0.0);
+                assert!(solo.nodes >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workflow_by_name("lv").is_some());
+        assert!(workflow_by_name("GP").is_some());
+        assert!(workflow_by_name("XX").is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the real computational kernels — the
+//! per-step costs that ground the simulator's cost-model constants.
+
+use ceal_apps::kernels::grayscott::GrayScottGrid;
+use ceal_apps::kernels::histogram::slice_pdfs;
+use ceal_apps::kernels::md::MdSystem;
+use ceal_apps::kernels::stencil::HeatGrid;
+use ceal_apps::kernels::voronoi::estimate_volumes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    c.bench_function("md_step_1000_atoms", |b| {
+        b.iter_batched(
+            || MdSystem::new(1000, 0.5, 0.002, 1),
+            |mut sys| {
+                sys.step();
+                sys
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("voronoi_200_sites_res32", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let sites: Vec<[f64; 3]> = (0..200)
+            .map(|_| [0.0; 3].map(|_: f64| rng.gen_range(0.0..10.0)))
+            .collect();
+        b.iter(|| black_box(estimate_volumes(black_box(&sites), 10.0, 32)))
+    });
+
+    c.bench_function("heat_step_256", |b| {
+        b.iter_batched(
+            || {
+                let mut g = HeatGrid::new(256, 0.2, 0.0);
+                g.set(128, 128, 100.0);
+                g
+            },
+            |mut g| {
+                g.step();
+                g
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("grayscott_step_192", |b| {
+        b.iter_batched(
+            || {
+                let mut g = GrayScottGrid::new(192);
+                g.seed(96, 96, 4);
+                g
+            },
+            |mut g| {
+                g.step();
+                g
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("slice_pdfs_256x256", |b| {
+        let side = 256;
+        let field: Vec<f64> = (0..side * side).map(|i| (i % 97) as f64 / 97.0).collect();
+        b.iter(|| black_box(slice_pdfs(black_box(&field), side, 128, 0.0, 1.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the ML substrate: surrogate training and
+//! pool-scale prediction at the sizes the auto-tuner uses.
+
+use ceal_ml::{Dataset, GbtParams, GradientBoosting, RandomForest, RandomForestParams, Regressor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn tuning_dataset(rows: usize, features: usize) -> Dataset {
+    let mut data = Dataset::new(features);
+    for i in 0..rows {
+        let row: Vec<f64> = (0..features)
+            .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+            .collect();
+        let y = row
+            .iter()
+            .enumerate()
+            .map(|(j, x)| (j as f64 + 1.0) * x * x)
+            .sum();
+        data.push_row(&row, y);
+    }
+    data
+}
+
+fn bench_ml(c: &mut Criterion) {
+    // Training at auto-tuner scale: 50 samples, 6 configuration params.
+    let small = tuning_dataset(50, 6);
+    c.bench_function("gbt_fit_50x6", |b| {
+        b.iter_batched(
+            || GradientBoosting::new(GbtParams::small_sample(0)),
+            |mut m| {
+                m.fit(black_box(&small));
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let big = tuning_dataset(500, 7);
+    c.bench_function("gbt_fit_500x7", |b| {
+        b.iter_batched(
+            || GradientBoosting::new(GbtParams::small_sample(0)),
+            |mut m| {
+                m.fit(black_box(&big));
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Pool scoring: predict 2000 configurations.
+    let mut fitted = GradientBoosting::new(GbtParams::small_sample(0));
+    fitted.fit(&small);
+    let pool = tuning_dataset(2000, 6);
+    c.bench_function("gbt_predict_pool_2000", |b| {
+        b.iter(|| black_box(fitted.predict_batch(black_box(&pool))))
+    });
+
+    c.bench_function("rf_fit_200x6", |b| {
+        let data = tuning_dataset(200, 6);
+        b.iter_batched(
+            || {
+                RandomForest::new(RandomForestParams {
+                    n_trees: 50,
+                    ..Default::default()
+                })
+            },
+            |mut m| {
+                m.fit(black_box(&data));
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ml
+}
+criterion_main!(benches);

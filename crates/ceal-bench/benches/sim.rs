@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the discrete-event simulator: one coupled
+//! workflow run per workflow, plus solo runs (the unit operations behind
+//! every experiment's 2000-configuration pool).
+
+use ceal_apps::{expert_config, gp, hs, lv};
+use ceal_sim::{Objective, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let sim = Simulator::new();
+    for (spec, label) in [(lv(), "lv"), (hs(), "hs"), (gp(), "gp")] {
+        let cfg = expert_config(&spec.name, Objective::ExecutionTime).unwrap();
+        c.bench_function(&format!("coupled_run_{label}"), |b| {
+            b.iter(|| black_box(sim.run(black_box(&spec), black_box(&cfg), 7).unwrap()))
+        });
+    }
+
+    let spec = lv();
+    c.bench_function("solo_run_lammps", |b| {
+        b.iter(|| black_box(sim.run_solo(black_box(&spec), 0, &[288, 18, 2], 7).unwrap()))
+    });
+
+    c.bench_function("feasibility_check_lv", |b| {
+        let cfg = expert_config("LV", Objective::ComputerTime).unwrap();
+        b.iter(|| black_box(spec.feasible(&sim.platform, black_box(&cfg))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sim
+}
+criterion_main!(benches);

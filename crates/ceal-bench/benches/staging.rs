@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the in-process staging library: stream
+//! throughput under the producer/consumer pattern the real workflows use.
+
+use ceal_staging::{channel, Variable};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_staging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staging");
+
+    // 1 MiB steps through a double-buffered stream, consumer on a thread.
+    let payload: Vec<f64> = vec![1.0; 131_072]; // 1 MiB of f64
+    let steps = 64u64;
+    group.throughput(Throughput::Bytes(steps * 1_048_576));
+    group.bench_function("stream_1mib_steps", |b| {
+        b.iter(|| {
+            let (mut w, r) = channel("bench", 2, 2 << 20);
+            let payload = &payload;
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for _ in 0..steps {
+                        w.put(vec![Variable::from_f64("u", vec![131_072], payload)])
+                            .unwrap();
+                    }
+                });
+                let mut seen = 0u64;
+                while r.next_step().is_ok() {
+                    seen += 1;
+                }
+                black_box(seen)
+            })
+        })
+    });
+
+    // Variable encode/decode round-trip.
+    group.bench_function("variable_f64_roundtrip", |b| {
+        b.iter(|| {
+            let v = Variable::from_f64("u", vec![4096], black_box(&payload[..4096]));
+            black_box(v.as_f64())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_staging
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the auto-tuning algorithms themselves:
+//! one complete tuning run per algorithm against a precomputed oracle
+//! (measurement cost excluded — this is the modeler+searcher overhead the
+//! paper describes as "a few minutes" for tree models).
+
+use ceal_core::{
+    sample_pool, ActiveLearning, Autotuner, Ceal, CealParams, Geist, PoolOracle, RandomSampling,
+    SimOracle,
+};
+use ceal_sim::{Objective, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_tuner(c: &mut Criterion) {
+    let spec = ceal_apps::lv();
+    let sim = Simulator::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let pool = sample_pool(&spec, &sim.platform, 500, &mut rng);
+    let oracle = PoolOracle::precompute(
+        SimOracle::new(sim, spec, Objective::ExecutionTime, 7),
+        &pool,
+    );
+
+    let algos: Vec<(&str, Box<dyn Autotuner>)> = vec![
+        ("rs", Box::new(RandomSampling)),
+        ("al", Box::new(ActiveLearning::default())),
+        ("geist", Box::new(Geist::default())),
+        ("ceal", Box::new(Ceal::new(CealParams::without_history()))),
+    ];
+    for (label, algo) in &algos {
+        c.bench_function(&format!("tuner_run_{label}_m25"), |b| {
+            b.iter(|| black_box(algo.run(&oracle, &pool, 25, 3)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_tuner
+}
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Running algorithms repeatedly and aggregating the paper's metrics.
+
+use crate::scenario::Scenario;
+use ceal_core::metrics::{least_number_of_uses, mdape_top_fraction, mean, recall_curve};
+use ceal_core::{Autotuner, TunerRun};
+
+/// Aggregated results of `reps` runs of one algorithm in one scenario.
+#[derive(Debug, Clone)]
+pub struct AlgoStats {
+    /// Algorithm name.
+    pub name: String,
+    /// Mean measured value of the recommended configuration.
+    pub mean_value: f64,
+    /// Mean value normalized by the pool best (the figures' y-axis).
+    pub mean_normalized: f64,
+    /// Mean recall score for top-n, n = 1..=10 (Figs. 7/11).
+    pub recall: Vec<f64>,
+    /// Mean MdAPE (%) over the top 2 % of the test set (Fig. 6).
+    pub mdape_top2: f64,
+    /// Mean MdAPE (%) over the whole test set (Fig. 6).
+    pub mdape_all: f64,
+    /// Mean data-collection cost in objective units (§7.2.3's `c`).
+    pub mean_cost: f64,
+    /// Mean least-number-of-uses over the repetitions where tuning paid off
+    /// (§7.2.3's `N`), and the fraction of repetitions where it did.
+    pub least_uses: Option<f64>,
+    /// Fraction of repetitions whose recommendation beat the expert.
+    pub payoff_rate: f64,
+    /// Mean coupled workflow runs actually consumed.
+    pub mean_runs: f64,
+    /// Repetitions aggregated.
+    pub reps: usize,
+}
+
+/// Number of repetitions: `CEAL_REPS` env or the given default.
+pub fn reps_or(default: usize) -> usize {
+    std::env::var("CEAL_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `algo` `reps` times (parallel over seeds) and aggregates.
+pub fn evaluate_runs(
+    algo: &dyn Autotuner,
+    scen: &Scenario,
+    budget: usize,
+    reps: usize,
+) -> AlgoStats {
+    let seeds: Vec<u64> = (0..reps as u64).collect();
+    let runs: Vec<TunerRun> =
+        ceal_par::parallel_map(&seeds, |&s| algo.run(&scen.oracle, &scen.pool, budget, s));
+    aggregate(algo.name(), scen, &runs)
+}
+
+/// Aggregates already-collected runs.
+pub fn aggregate(name: &str, scen: &Scenario, runs: &[TunerRun]) -> AlgoStats {
+    let values: Vec<f64> = runs
+        .iter()
+        .map(|r| scen.truth_of(&r.best_predicted))
+        .collect();
+    let normalized: Vec<f64> = values.iter().map(|v| v / scen.best).collect();
+    let costs: Vec<f64> = runs
+        .iter()
+        .map(|r| r.collection_cost(scen.objective))
+        .collect();
+
+    let mut recall_sum = vec![0.0; 10];
+    let mut mdape2 = Vec::with_capacity(runs.len());
+    let mut mdape_all = Vec::with_capacity(runs.len());
+    for r in runs {
+        for (acc, v) in recall_sum
+            .iter_mut()
+            .zip(recall_curve(10, &r.pool_scores, &scen.truth))
+        {
+            *acc += v;
+        }
+        mdape2.push(mdape_top_fraction(&r.pool_scores, &scen.truth, 0.02));
+        mdape_all.push(mdape_top_fraction(&r.pool_scores, &scen.truth, 1.0));
+    }
+    for acc in &mut recall_sum {
+        *acc /= runs.len().max(1) as f64;
+    }
+
+    let uses: Vec<f64> = values
+        .iter()
+        .zip(&costs)
+        .filter_map(|(&v, &c)| least_number_of_uses(c, v, scen.expert))
+        .collect();
+    let payoff_rate = uses.len() as f64 / runs.len().max(1) as f64;
+
+    AlgoStats {
+        name: name.to_string(),
+        mean_value: mean(&values),
+        mean_normalized: mean(&normalized),
+        recall: recall_sum,
+        mdape_top2: mean(&mdape2),
+        mdape_all: mean(&mdape_all),
+        mean_cost: mean(&costs),
+        least_uses: if uses.is_empty() {
+            None
+        } else {
+            Some(mean(&uses))
+        },
+        payoff_rate,
+        mean_runs: mean(
+            &runs
+                .iter()
+                .map(|r| r.runs_used() as f64)
+                .collect::<Vec<_>>(),
+        ),
+        reps: runs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::scenario;
+    use ceal_core::RandomSampling;
+    use ceal_sim::Objective;
+
+    #[test]
+    fn evaluate_runs_aggregates_sane_numbers() {
+        std::env::set_var("CEAL_POOL", "60");
+        let scen = scenario("LV", Objective::ExecutionTime);
+        let stats = evaluate_runs(&RandomSampling, &scen, 15, 4);
+        assert_eq!(stats.reps, 4);
+        assert!(stats.mean_normalized >= 1.0);
+        assert_eq!(stats.recall.len(), 10);
+        assert!(stats.recall.iter().all(|r| (0.0..=100.0).contains(r)));
+        assert!(stats.mean_cost > 0.0);
+        assert_eq!(stats.mean_runs, 15.0);
+        assert!((0.0..=1.0).contains(&stats.payoff_rate));
+    }
+
+    #[test]
+    fn reps_env_override() {
+        std::env::remove_var("CEAL_REPS");
+        assert_eq!(reps_or(7), 7);
+        std::env::set_var("CEAL_REPS", "3");
+        assert_eq!(reps_or(7), 3);
+        std::env::remove_var("CEAL_REPS");
+    }
+}

@@ -1,0 +1,68 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--reps N] [--pool N] <experiment>...
+//! repro list            # show available experiment ids
+//! repro all             # run everything
+//! ```
+//!
+//! Results are printed as tables and exported to `results/<id>.json`.
+
+use ceal_bench::experiments;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--reps N] [--pool N] <experiment|all|list>...\n\
+         experiments: {}",
+        experiments::ALL.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut reps = ceal_bench::agg::reps_or(100);
+    let mut targets: Vec<String> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                reps = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--pool" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let _: usize = v.parse().unwrap_or_else(|_| usage());
+                std::env::set_var("CEAL_POOL", v);
+            }
+            "list" => {
+                for id in experiments::ALL {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => targets.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+
+    println!(
+        "repro: {} experiment(s), {reps} repetitions, pool size {}",
+        targets.len(),
+        ceal_bench::scenario::pool_size()
+    );
+    for id in targets {
+        let t0 = std::time::Instant::now();
+        match experiments::run(&id, reps) {
+            Some(_) => println!("  [{id} done in {:.1}s]", t0.elapsed().as_secs_f64()),
+            None => {
+                eprintln!("unknown experiment '{id}'");
+                usage();
+            }
+        }
+    }
+}

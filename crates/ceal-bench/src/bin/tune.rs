@@ -1,0 +1,174 @@
+//! `tune` — auto-tune one of the bundled workflows from the command line.
+//!
+//! ```text
+//! tune --workflow LV --objective comp --budget 50 [--algo ceal|al|rs|geist|bo|rl]
+//!      [--pool 2000] [--seed 0] [--history path.json] [--save-history path.json]
+//! ```
+//!
+//! Prints the recommended configuration, its measured performance, and the
+//! comparison against the paper's expert recommendation.
+
+use ceal_core::{
+    sample_pool, ActiveLearning, Autotuner, BanditTuner, BayesOpt, Ceal, CealParams,
+    ComponentHistory, Geist, Oracle as _, PoolOracle, RandomSampling, SimOracle,
+};
+use ceal_sim::{Objective, Simulator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+struct Args {
+    workflow: String,
+    objective: Objective,
+    budget: usize,
+    algo: String,
+    pool: usize,
+    seed: u64,
+    history: Option<String>,
+    save_history: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tune --workflow LV|HS|GP [--objective exec|comp] [--budget N] \
+         [--algo ceal|al|rs|geist|alph|bo|rl] [--pool N] [--seed N] \
+         [--history file.json] [--save-history file.json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse() -> Args {
+    let mut args = Args {
+        workflow: String::new(),
+        objective: Objective::ExecutionTime,
+        budget: 50,
+        algo: "ceal".into(),
+        pool: 2000,
+        seed: 0,
+        history: None,
+        save_history: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--workflow" => args.workflow = val(),
+            "--objective" => {
+                args.objective = match val().as_str() {
+                    "exec" => Objective::ExecutionTime,
+                    "comp" => Objective::ComputerTime,
+                    _ => usage(),
+                }
+            }
+            "--budget" => args.budget = val().parse().unwrap_or_else(|_| usage()),
+            "--algo" => args.algo = val(),
+            "--pool" => args.pool = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--history" => args.history = Some(val()),
+            "--save-history" => args.save_history = Some(val()),
+            _ => usage(),
+        }
+    }
+    if args.workflow.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse();
+    let Some(spec) = ceal_apps::workflow_by_name(&args.workflow) else {
+        eprintln!("unknown workflow '{}'", args.workflow);
+        usage();
+    };
+    let sim = Simulator::new();
+    println!(
+        "tuning {} for {} with {} ({} run budget, pool {})",
+        spec.name, args.objective, args.algo, args.budget, args.pool
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed ^ 0xFACE);
+    let pool = sample_pool(&spec, &sim.platform, args.pool, &mut rng);
+    let oracle = PoolOracle::precompute(
+        SimOracle::new(sim, spec.clone(), args.objective, 2021),
+        &pool,
+    );
+
+    let history: Option<Arc<ComponentHistory>> = args.history.as_ref().map(|path| {
+        let h = ComponentHistory::load(path)
+            .unwrap_or_else(|e| panic!("cannot load history {path}: {e}"));
+        println!(
+            "loaded {} historical component samples from {path}",
+            h.total_samples()
+        );
+        Arc::new(h)
+    });
+
+    let algo: Box<dyn Autotuner> = match args.algo.as_str() {
+        "ceal" => match &history {
+            Some(h) => Box::new(Ceal::with_history(
+                CealParams::with_history(),
+                Arc::clone(h),
+            )),
+            None => Box::new(Ceal::new(CealParams::without_history())),
+        },
+        "al" => Box::new(ActiveLearning::default()),
+        "rs" => Box::new(RandomSampling),
+        "geist" => Box::new(Geist::default()),
+        "alph" => match &history {
+            Some(h) => Box::new(ceal_core::Alph::with_history(Arc::clone(h))),
+            None => Box::new(ceal_core::Alph::new()),
+        },
+        "bo" => Box::new(BayesOpt::bootstrapped(history.clone())),
+        "rl" => Box::new(BanditTuner::bootstrapped(history.clone())),
+        _ => usage(),
+    };
+
+    let t0 = std::time::Instant::now();
+    let run = algo.run(&oracle, &pool, args.budget, args.seed);
+    let tuned = oracle.measure(&run.best_predicted);
+
+    println!(
+        "\n{}: measured {} coupled + {} component runs in {:.1}s",
+        algo.name(),
+        run.runs_used(),
+        run.component_runs.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let names: Vec<&str> = spec.all_params().iter().map(|p| p.name).collect();
+    println!("recommended configuration:");
+    for (name, v) in names.iter().zip(&run.best_predicted) {
+        println!("  {name:>16} = {v}");
+    }
+    let unit = match args.objective {
+        Objective::ExecutionTime => "s",
+        Objective::ComputerTime => "core-hours",
+    };
+    println!("measured performance: {:.3} {unit}", tuned.value);
+    if let Some(expert_cfg) = ceal_apps::expert_config(&spec.name, args.objective) {
+        let expert = oracle.measure(&expert_cfg).value;
+        println!(
+            "expert recommendation: {:.3} {unit} ({:+.1}% vs tuned)",
+            expert,
+            (tuned.value - expert) / expert * 100.0
+        );
+    }
+    println!(
+        "data-collection cost: {:.2} {unit}",
+        run.collection_cost(args.objective)
+    );
+
+    if let Some(path) = args.save_history {
+        // Persist the component measurements this run collected so future
+        // tuning sessions can reuse them for free (§7.5).
+        let mut h = history
+            .map(|h| (*h).clone())
+            .unwrap_or_else(|| ComponentHistory::empty(spec.components.len()));
+        for m in &run.component_runs {
+            h.push(m.component, m.values.clone(), m.value);
+        }
+        h.save(&path)
+            .unwrap_or_else(|e| panic!("cannot save history {path}: {e}"));
+        println!("saved {} component samples to {path}", h.total_samples());
+    }
+}

@@ -1,0 +1,141 @@
+//! Ablation studies of CEAL's design choices (extensions beyond the paper,
+//! indexed in DESIGN.md).
+//!
+//! All ablations run the paper's hardest cheap setting — LV computer time
+//! with 50 training samples — where the low-fidelity model is informative
+//! but rough.
+
+use crate::agg::evaluate_runs;
+use crate::report::print_table;
+use crate::scenario::scenario;
+use ceal_core::{
+    Autotuner, Ceal, CealParams, EnsembleKind, EnsembleTuner, SurrogateKind, SwitchMode,
+};
+use ceal_sim::Objective;
+use serde_json::{json, Value};
+
+const BUDGET: usize = 50;
+
+fn run_variants(variants: Vec<(String, Box<dyn Autotuner>)>, reps: usize, title: &str) -> Value {
+    let scen = scenario("LV", Objective::ComputerTime);
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (label, algo) in variants {
+        let s = evaluate_runs(algo.as_ref(), &scen, BUDGET, reps);
+        rows.push(vec![
+            label.clone(),
+            format!("{:.3}", s.mean_normalized),
+            format!("{:.2}", s.mean_value),
+            format!("{:.0}", s.recall[0]),
+            format!("{:.0}", s.recall[2]),
+        ]);
+        out.push(json!({
+            "variant": label,
+            "normalized": s.mean_normalized,
+            "value": s.mean_value,
+            "recall": s.recall,
+        }));
+    }
+    print_table(
+        title,
+        &["variant", "normalized", "core-hrs", "recall@1", "recall@3"],
+        &rows,
+    );
+    json!(out)
+}
+
+/// Design choice 2 (DESIGN.md): dynamic model-switch detection.
+pub fn switch(reps: usize) -> Value {
+    let mk = |mode: SwitchMode| CealParams {
+        switch_mode: mode,
+        ..CealParams::without_history()
+    };
+    run_variants(
+        vec![
+            (
+                "dynamic-switch (paper)".into(),
+                Box::new(Ceal::new(mk(SwitchMode::Dynamic))),
+            ),
+            (
+                "never-switch (M_L only)".into(),
+                Box::new(Ceal::new(mk(SwitchMode::NeverSwitch))),
+            ),
+            (
+                "immediate-switch".into(),
+                Box::new(Ceal::new(mk(SwitchMode::Immediate))),
+            ),
+        ],
+        reps,
+        "Ablation: model-switch detection (LV computer time, 50 samples)",
+    )
+}
+
+/// Design choice 3 (DESIGN.md): the bias-guard random top-up.
+pub fn topup(reps: usize) -> Value {
+    run_variants(
+        vec![
+            (
+                "with random top-up (paper)".into(),
+                Box::new(Ceal::new(CealParams::without_history())),
+            ),
+            (
+                "without random top-up".into(),
+                Box::new(Ceal::new(CealParams {
+                    random_topup: false,
+                    ..CealParams::without_history()
+                })),
+            ),
+        ],
+        reps,
+        "Ablation: random top-up guard (LV computer time, 50 samples)",
+    )
+}
+
+/// Design choice 4 (DESIGN.md): the high-fidelity surrogate family.
+pub fn surrogate(reps: usize) -> Value {
+    let mk = |kind: SurrogateKind| CealParams {
+        surrogate: kind,
+        ..CealParams::without_history()
+    };
+    run_variants(
+        vec![
+            (
+                "boosted trees (paper)".into(),
+                Box::new(Ceal::new(mk(SurrogateKind::BoostedTrees))),
+            ),
+            (
+                "random forest".into(),
+                Box::new(Ceal::new(mk(SurrogateKind::RandomForest))),
+            ),
+            ("k-NN".into(), Box::new(Ceal::new(mk(SurrogateKind::Knn)))),
+        ],
+        reps,
+        "Ablation: high-fidelity surrogate family (LV computer time, 50 samples)",
+    )
+}
+
+/// Design choice 5 (DESIGN.md): CEAL vs the Didona §8.2 AM+ML ensembles.
+pub fn ensembles(reps: usize) -> Value {
+    run_variants(
+        vec![
+            (
+                "CEAL (paper)".into(),
+                Box::new(Ceal::new(CealParams::without_history())),
+            ),
+            (
+                "KNN-ensemble".into(),
+                Box::new(EnsembleTuner::new(EnsembleKind::Knn)),
+            ),
+            (
+                "HyBoost".into(),
+                Box::new(EnsembleTuner::new(EnsembleKind::HyBoost)),
+            ),
+            (
+                "PR (probing)".into(),
+                Box::new(EnsembleTuner::new(EnsembleKind::Probing)),
+            ),
+        ],
+        reps,
+        "Ablation: Didona-style AM+ML ensembles (LV computer time, 50 samples)",
+    )
+}

@@ -1,0 +1,158 @@
+//! Extension experiments beyond the paper's evaluation section.
+//!
+//! * `motivation` — quantifies §2.1/Fig. 2: in-situ streaming vs post-hoc
+//!   file-based execution of the same workflows and configurations.
+//! * `future-work` — implements §9: Bayesian optimization and an RL-style
+//!   bandit as alternative black-box techniques, plain and bootstrapped
+//!   with CEAL's phase 1.
+
+use crate::agg::evaluate_runs;
+use crate::report::{fmt, print_table};
+use crate::scenario::scenario;
+use ceal_core::{Autotuner, BanditTuner, BayesOpt, Ceal, FeatureMap, Oracle as _};
+use ceal_ml::{Dataset, GbtParams, GradientBoosting, Regressor};
+use ceal_sim::{Objective, Simulator};
+use serde_json::{json, Value};
+
+/// §2.1 / Fig. 2: in-situ vs post-hoc execution of every workflow at the
+/// expert and pool-best configurations.
+pub fn motivation() -> Value {
+    let sim = Simulator::new();
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for wf in ["LV", "HS", "GP"] {
+        for obj in [Objective::ExecutionTime, Objective::ComputerTime] {
+            let scen = scenario(wf, obj);
+            let spec = scen.oracle.spec();
+            let best_idx = ceal_core::metrics::top_n(&scen.truth, 1)[0];
+            for (label, cfg) in [
+                ("best", &scen.pool[best_idx]),
+                ("expert", &scen.expert_config),
+            ] {
+                let insitu = sim.run(spec, cfg, 1).expect("coupled run");
+                let posthoc = sim.run_posthoc(spec, cfg, 1).expect("post-hoc run");
+                let (i, p) = match obj {
+                    Objective::ExecutionTime => (insitu.exec_time, posthoc.exec_time),
+                    Objective::ComputerTime => (insitu.computer_time, posthoc.computer_time),
+                };
+                rows.push(vec![
+                    wf.into(),
+                    obj.label().into(),
+                    label.into(),
+                    fmt(i),
+                    fmt(p),
+                    format!("{:.2}x", p / i),
+                ]);
+                out.push(json!({
+                    "workflow": wf, "objective": obj.label(), "config": label,
+                    "in_situ": i, "post_hoc": p, "speedup": p / i,
+                }));
+            }
+        }
+    }
+    print_table(
+        "Motivation (§2.1/Fig. 2): in-situ vs post-hoc execution",
+        &[
+            "wf",
+            "obj",
+            "config",
+            "in-situ",
+            "post-hoc",
+            "in-situ advantage",
+        ],
+        &rows,
+    );
+    json!(out)
+}
+
+/// §9 future work: BO and RL as the bootstrapped black-box technique.
+pub fn future_work(reps: usize) -> Value {
+    let panels: &[(&str, Objective, usize)] = &[
+        ("LV", Objective::ComputerTime, 50),
+        ("LV", Objective::ExecutionTime, 50),
+        ("GP", Objective::ComputerTime, 50),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &(wf, obj, budget) in panels {
+        let scen = scenario(wf, obj);
+        let algos: Vec<Box<dyn Autotuner>> = vec![
+            Box::new(Ceal::new(super::ceal_no_hist_params(wf, obj, budget))),
+            Box::new(BayesOpt::new()),
+            Box::new(BayesOpt::bootstrapped(None)),
+            Box::new(BanditTuner::new()),
+            Box::new(BanditTuner::bootstrapped(None)),
+        ];
+        let mut panel = Vec::new();
+        for algo in &algos {
+            let s = evaluate_runs(algo.as_ref(), &scen, budget, reps);
+            rows.push(vec![
+                format!("{wf} {} {budget}spl", obj.label()),
+                s.name.clone(),
+                format!("{:.3}", s.mean_normalized),
+                format!("{:.0}", s.recall[0]),
+            ]);
+            panel.push(json!({
+                "name": s.name,
+                "normalized": s.mean_normalized,
+                "recall": s.recall,
+            }));
+        }
+        out.push(json!({
+            "workflow": wf, "objective": obj.label(), "budget": budget,
+            "algorithms": panel,
+        }));
+    }
+    print_table(
+        "Future work (§9): bootstrapped BO and RL vs CEAL (AL)",
+        &["setting", "algo", "normalized", "recall@1"],
+        &rows,
+    );
+    json!(out)
+}
+
+/// Which configuration parameters drive each objective: gain-based feature
+/// importance of a boosted-tree model trained on the whole measured pool
+/// (an "oracle" model the auto-tuner never has, useful for sanity-checking
+/// the landscapes and for practitioners deciding what to tune first).
+pub fn param_importance() -> Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for wf in ["LV", "HS", "GP"] {
+        for obj in [Objective::ExecutionTime, Objective::ComputerTime] {
+            let scen = scenario(wf, obj);
+            let spec = scen.oracle.spec();
+            let fm = FeatureMap::for_workflow(spec);
+            let rows_x: Vec<Vec<f64>> = scen.pool.iter().map(|c| fm.encode(c)).collect();
+            let mut model = GradientBoosting::new(GbtParams::small_sample(0));
+            model.fit(&Dataset::from_rows(&rows_x, &scen.truth));
+            let imp = model.feature_importance(fm.n_features());
+            let mut named: Vec<(String, f64)> = fm
+                .params()
+                .iter()
+                .zip(&imp)
+                .map(|(p, &i)| (p.name.to_string(), i))
+                .collect();
+            named.sort_by(|a, b| b.1.total_cmp(&a.1));
+            for (name, i) in named.iter().take(4) {
+                rows.push(vec![
+                    wf.into(),
+                    obj.label().into(),
+                    name.clone(),
+                    format!("{:.1}%", i * 100.0),
+                ]);
+            }
+            out.push(json!({
+                "workflow": wf,
+                "objective": obj.label(),
+                "importance": named,
+            }));
+        }
+    }
+    print_table(
+        "Parameter importance (oracle boosted-tree model over the full pool)",
+        &["wf", "obj", "parameter", "gain share"],
+        &rows,
+    );
+    json!(out)
+}

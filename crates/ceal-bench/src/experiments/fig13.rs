@@ -1,0 +1,132 @@
+//! Figure 13: CEAL hyperparameter sensitivity (LV computer time, m = 50).
+//!
+//! Sweeps the iteration count `I`, the random-sample bound `m_0/m`, and the
+//! component-run share `m_R/m`, reporting the mean *actual* computer time
+//! of the recommended configuration — the same quantity the paper plots.
+
+use crate::agg::evaluate_runs;
+use crate::report::print_table;
+use crate::scenario::{history, scenario};
+use ceal_core::{Ceal, CealParams};
+use ceal_sim::Objective;
+use serde_json::{json, Value};
+
+const BUDGET: usize = 50;
+
+fn run_setting(params: CealParams, with_hist: bool, reps: usize) -> f64 {
+    let scen = scenario("LV", Objective::ComputerTime);
+    let algo = if with_hist {
+        Ceal::with_history(params, history("LV", Objective::ComputerTime))
+    } else {
+        Ceal::new(params)
+    };
+    evaluate_runs(&algo, &scen, BUDGET, reps).mean_value
+}
+
+pub fn run(reps: usize) -> Value {
+    let mut rows = Vec::new();
+    let mut out = serde_json::Map::new();
+
+    // (a) Iterations I, for both variants (paper Fig. 13a settings).
+    let mut iter_series = Vec::new();
+    for i in 1..=10usize {
+        let without = run_setting(
+            CealParams {
+                iterations: i,
+                m0_fraction: 0.05,
+                m_r_fraction: 0.8,
+                ..CealParams::without_history()
+            },
+            false,
+            reps,
+        );
+        let with = run_setting(
+            CealParams {
+                iterations: i,
+                m0_fraction: 0.15,
+                ..CealParams::with_history()
+            },
+            true,
+            reps,
+        );
+        rows.push(vec![
+            "I".into(),
+            i.to_string(),
+            format!("{without:.3}"),
+            format!("{with:.3}"),
+        ]);
+        iter_series.push(json!({ "I": i, "without_history": without, "with_history": with }));
+    }
+    out.insert("iterations".into(), json!(iter_series));
+
+    // (b) Random-sample bound m0/m (paper Fig. 13b settings).
+    let mut m0_series = Vec::new();
+    for pct in (5..=95).step_by(10) {
+        let frac = pct as f64 / 100.0;
+        // Without histories m_R = 0.8 m caps m0 at 0.2 m.
+        let without = if frac <= 0.2 {
+            Some(run_setting(
+                CealParams {
+                    m0_fraction: frac,
+                    m_r_fraction: 0.8,
+                    iterations: 8,
+                    ..CealParams::without_history()
+                },
+                false,
+                reps,
+            ))
+        } else {
+            None
+        };
+        let with = run_setting(
+            CealParams {
+                m0_fraction: frac,
+                iterations: 3,
+                ..CealParams::with_history()
+            },
+            true,
+            reps,
+        );
+        rows.push(vec![
+            "m0/m".into(),
+            format!("{pct}%"),
+            without.map_or("-".into(), |v| format!("{v:.3}")),
+            format!("{with:.3}"),
+        ]);
+        m0_series.push(json!({
+            "m0_percent": pct, "without_history": without, "with_history": with,
+        }));
+    }
+    out.insert("m0".into(), json!(m0_series));
+
+    // (c) Component-run share mR/m, without histories (paper Fig. 13c).
+    let mut mr_series = Vec::new();
+    for pct in (5..=85).step_by(10) {
+        let frac = pct as f64 / 100.0;
+        let v = run_setting(
+            CealParams {
+                m_r_fraction: frac,
+                m0_fraction: 0.05,
+                iterations: 8,
+                ..CealParams::without_history()
+            },
+            false,
+            reps,
+        );
+        rows.push(vec![
+            "mR/m".into(),
+            format!("{pct}%"),
+            format!("{v:.3}"),
+            "-".into(),
+        ]);
+        mr_series.push(json!({ "mr_percent": pct, "without_history": v }));
+    }
+    out.insert("mr".into(), json!(mr_series));
+
+    print_table(
+        "Fig. 13: CEAL hyperparameter sensitivity (LV computer time, 50 samples; core-hours)",
+        &["parameter", "value", "w/o histories", "w/ histories"],
+        &rows,
+    );
+    Value::Object(out)
+}

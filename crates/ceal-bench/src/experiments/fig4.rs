@@ -1,0 +1,86 @@
+//! Figure 4: recall scores of the low-fidelity combination functions.
+//!
+//! The motivating study of §4: score 500 randomly selected LV
+//! configurations with the combined component models — `max` of predicted
+//! execution times (Eq. 1) and `sum` of predicted computer times (Eq. 2) —
+//! and compare top-1..25 recall against random ordering.
+
+use crate::report::print_table;
+use crate::scenario::{history, scenario};
+use ceal_core::metrics::{mean, recall_score};
+use ceal_core::{CombineFn, ComponentModels, LowFidelityModel, Oracle as _};
+use ceal_sim::Objective;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::{json, Value};
+
+pub fn run(reps: usize) -> Value {
+    let top_ns: Vec<usize> = (1..=25).collect();
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+
+    for obj in [Objective::ExecutionTime, Objective::ComputerTime] {
+        let scen = scenario("LV", obj);
+        let n_eval = scen.pool.len().min(500);
+        let pool = &scen.pool[..n_eval];
+        let truth = &scen.truth[..n_eval];
+
+        // Low-fidelity model from the historical component measurements.
+        let hist = history("LV", obj);
+        let spec = scen.oracle.spec();
+        let ml = LowFidelityModel::new(
+            spec,
+            ComponentModels::fit(spec, &hist, 0),
+            CombineFn::for_objective(obj),
+        );
+        let scores = ml.score_all(pool);
+        let model_recall: Vec<f64> = top_ns
+            .iter()
+            .map(|&n| recall_score(n, &scores, truth))
+            .collect();
+
+        // Random-selection baseline, averaged over repetitions.
+        let random_recall: Vec<f64> = top_ns
+            .iter()
+            .map(|&n| {
+                let per_rep: Vec<f64> = (0..reps as u64)
+                    .map(|s| {
+                        let mut rng = ChaCha8Rng::seed_from_u64(s);
+                        let mut rand_scores: Vec<f64> = (0..n_eval).map(|i| i as f64).collect();
+                        rand_scores.shuffle(&mut rng);
+                        recall_score(n, &rand_scores, truth)
+                    })
+                    .collect();
+                mean(&per_rep)
+            })
+            .collect();
+
+        let label = match obj {
+            Objective::ExecutionTime => "Maximum of execution time",
+            Objective::ComputerTime => "Sum of computer time",
+        };
+        for (i, &n) in top_ns.iter().enumerate() {
+            rows.push(vec![
+                label.to_string(),
+                n.to_string(),
+                format!("{:.1}", model_recall[i]),
+                format!("{:.1}", random_recall[i]),
+            ]);
+        }
+        series.push(json!({
+            "objective": obj.label(),
+            "combination": label,
+            "top_n": top_ns,
+            "model_recall": model_recall,
+            "random_recall": random_recall,
+        }));
+    }
+
+    print_table(
+        "Fig. 4: recall of low-fidelity combination functions (LV, 500 configs)",
+        &["combination", "top-n", "model recall %", "random recall %"],
+        &rows,
+    );
+    json!(series)
+}

@@ -1,0 +1,176 @@
+//! Figures 5–8: auto-tuning *without* historical measurements.
+//!
+//! Compares RS, GEIST, AL and CEAL on the paper's panels: best-config
+//! performance (Fig. 5), model MdAPE over top-2 %/all (Fig. 6), recall
+//! robustness (Fig. 7), and practicality (Fig. 8).
+
+use crate::agg::{evaluate_runs, AlgoStats};
+use crate::report::{fmt, print_table};
+use crate::scenario::scenario;
+use ceal_core::{ActiveLearning, Autotuner, Ceal, Geist, RandomSampling};
+use ceal_sim::Objective;
+use serde_json::{json, Value};
+
+/// The four no-history algorithms of §7.4, in figure order, with CEAL's
+/// per-case tuned hyperparameters (§7.3).
+fn algorithms(wf: &str, obj: Objective, budget: usize) -> Vec<Box<dyn Autotuner>> {
+    vec![
+        Box::new(RandomSampling),
+        Box::new(Geist::default()),
+        Box::new(ActiveLearning::default()),
+        Box::new(Ceal::new(super::ceal_no_hist_params(wf, obj, budget))),
+    ]
+}
+
+/// Runs every algorithm on one (workflow, objective, budget) panel.
+fn panel(wf: &str, obj: Objective, budget: usize, reps: usize) -> Vec<AlgoStats> {
+    let scen = scenario(wf, obj);
+    algorithms(wf, obj, budget)
+        .iter()
+        .map(|a| evaluate_runs(a.as_ref(), &scen, budget, reps))
+        .collect()
+}
+
+fn panel_json(wf: &str, obj: Objective, budget: usize, stats: &[AlgoStats]) -> Value {
+    json!({
+        "workflow": wf,
+        "objective": obj.label(),
+        "budget": budget,
+        "algorithms": stats.iter().map(|s| json!({
+            "name": s.name,
+            "normalized": s.mean_normalized,
+            "value": s.mean_value,
+            "recall": s.recall,
+            "mdape_top2": s.mdape_top2,
+            "mdape_all": s.mdape_all,
+            "cost": s.mean_cost,
+            "least_uses": s.least_uses,
+            "payoff_rate": s.payoff_rate,
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Fig. 5: normalized performance of the best auto-tuned configuration.
+pub fn fig5(reps: usize) -> Value {
+    let panels: &[(&str, Objective, usize)] = &[
+        ("LV", Objective::ExecutionTime, 50),
+        ("LV", Objective::ExecutionTime, 100),
+        ("HS", Objective::ExecutionTime, 50),
+        ("HS", Objective::ExecutionTime, 100),
+        ("LV", Objective::ComputerTime, 25),
+        ("LV", Objective::ComputerTime, 50),
+        ("HS", Objective::ComputerTime, 25),
+        ("HS", Objective::ComputerTime, 50),
+        ("GP", Objective::ComputerTime, 25),
+        ("GP", Objective::ComputerTime, 50),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &(wf, obj, budget) in panels {
+        let stats = panel(wf, obj, budget, reps);
+        let mut row = vec![wf.to_string(), obj.label().into(), budget.to_string()];
+        row.extend(stats.iter().map(|s| format!("{:.3}", s.mean_normalized)));
+        rows.push(row);
+        out.push(panel_json(wf, obj, budget, &stats));
+    }
+    print_table(
+        "Fig. 5: normalized best-config performance w/o histories (1.0 = pool best)",
+        &["wf", "obj", "samples", "RS", "GEIST", "AL", "CEAL"],
+        &rows,
+    );
+    json!(out)
+}
+
+/// Fig. 6: MdAPE of the final surrogates over the top 2 % and all configs.
+pub fn fig6(reps: usize) -> Value {
+    let settings: &[(&str, Objective, usize)] = &[
+        ("LV", Objective::ComputerTime, 50),
+        ("HS", Objective::ExecutionTime, 100),
+        ("GP", Objective::ComputerTime, 25),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &(wf, obj, budget) in settings {
+        let stats = panel(wf, obj, budget, reps);
+        for s in &stats {
+            rows.push(vec![
+                format!("{wf} {} {budget}spl", obj.label()),
+                s.name.clone(),
+                format!("{:.1}", s.mdape_top2),
+                format!("{:.1}", s.mdape_all),
+            ]);
+        }
+        out.push(panel_json(wf, obj, budget, &stats));
+    }
+    print_table(
+        "Fig. 6: model MdAPE w/o histories",
+        &["setting", "algorithm", "MdAPE top-2% (%)", "MdAPE all (%)"],
+        &rows,
+    );
+    json!(out)
+}
+
+/// Fig. 7: recall scores of the top 1..9 configurations.
+pub fn fig7(reps: usize) -> Value {
+    let settings: &[(&str, Objective, usize)] = &[
+        ("LV", Objective::ExecutionTime, 100),
+        ("HS", Objective::ExecutionTime, 100),
+        ("LV", Objective::ComputerTime, 50),
+        ("GP", Objective::ComputerTime, 50),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &(wf, obj, budget) in settings {
+        let stats = panel(wf, obj, budget, reps);
+        for s in &stats {
+            let mut row = vec![format!("{wf} {} {budget}spl", obj.label()), s.name.clone()];
+            row.extend(s.recall[..9].iter().map(|r| format!("{r:.0}")));
+            rows.push(row);
+        }
+        out.push(panel_json(wf, obj, budget, &stats));
+    }
+    print_table(
+        "Fig. 7: recall scores (%) w/o histories",
+        &[
+            "setting", "algo", "n=1", "2", "3", "4", "5", "6", "7", "8", "9",
+        ],
+        &rows,
+    );
+    json!(out)
+}
+
+/// Fig. 8: practicality (least number of uses), AL vs CEAL, computer time.
+pub fn fig8(reps: usize) -> Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for wf in ["LV", "HS"] {
+        let scen = scenario(wf, Objective::ComputerTime);
+        let algos: Vec<Box<dyn Autotuner>> = vec![
+            Box::new(ActiveLearning::default()),
+            Box::new(Ceal::new(super::ceal_no_hist_params(
+                wf,
+                Objective::ComputerTime,
+                50,
+            ))),
+        ];
+        let mut stats = Vec::new();
+        for a in &algos {
+            let s = evaluate_runs(a.as_ref(), &scen, 50, reps);
+            rows.push(vec![
+                wf.to_string(),
+                s.name.clone(),
+                s.least_uses.map_or("n/a".into(), fmt),
+                format!("{:.0}%", s.payoff_rate * 100.0),
+                fmt(s.mean_cost),
+            ]);
+            stats.push(s);
+        }
+        out.push(panel_json(wf, Objective::ComputerTime, 50, &stats));
+    }
+    print_table(
+        "Fig. 8: practicality w/o histories (computer time, 50 samples)",
+        &["wf", "algo", "least uses", "payoff rate", "cost (core-hrs)"],
+        &rows,
+    );
+    json!(out)
+}

@@ -1,0 +1,184 @@
+//! Figures 9–12: auto-tuning *with* historical component measurements.
+//!
+//! Fig. 9 isolates the value of histories for CEAL; Figs. 10–12 compare
+//! CEAL's white-box component combination against ALpH's learned combiner
+//! on best-config performance, recall, and practicality.
+
+use crate::agg::{evaluate_runs, AlgoStats};
+use crate::report::{fmt, print_table};
+use crate::scenario::{history, scenario};
+use ceal_core::{Alph, Ceal};
+use ceal_sim::Objective;
+use serde_json::{json, Value};
+
+fn stats_json(s: &AlgoStats) -> Value {
+    json!({
+        "name": s.name,
+        "normalized": s.mean_normalized,
+        "value": s.mean_value,
+        "recall": s.recall,
+        "cost": s.mean_cost,
+        "least_uses": s.least_uses,
+        "payoff_rate": s.payoff_rate,
+    })
+}
+
+/// Fig. 9: CEAL without vs with historical measurements.
+pub fn fig9(reps: usize) -> Value {
+    let panels: &[(&str, Objective, usize)] = &[
+        ("LV", Objective::ExecutionTime, 50),
+        ("LV", Objective::ExecutionTime, 100),
+        ("HS", Objective::ExecutionTime, 50),
+        ("HS", Objective::ExecutionTime, 100),
+        ("LV", Objective::ComputerTime, 25),
+        ("LV", Objective::ComputerTime, 50),
+        ("HS", Objective::ComputerTime, 25),
+        ("HS", Objective::ComputerTime, 50),
+        ("GP", Objective::ComputerTime, 25),
+        ("GP", Objective::ComputerTime, 50),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &(wf, obj, budget) in panels {
+        let scen = scenario(wf, obj);
+        let without = Ceal::new(super::ceal_no_hist_params(wf, obj, budget));
+        let with = Ceal::with_history(super::ceal_hist_params(obj), history(wf, obj));
+        let s_without = evaluate_runs(&without, &scen, budget, reps);
+        let s_with = evaluate_runs(&with, &scen, budget, reps);
+        rows.push(vec![
+            wf.into(),
+            obj.label().into(),
+            budget.to_string(),
+            format!("{:.3}", s_without.mean_normalized),
+            format!("{:.3}", s_with.mean_normalized),
+        ]);
+        out.push(json!({
+            "workflow": wf, "objective": obj.label(), "budget": budget,
+            "without_history": stats_json(&s_without),
+            "with_history": stats_json(&s_with),
+        }));
+    }
+    print_table(
+        "Fig. 9: effect of historical measurements on CEAL (normalized; 1.0 = pool best)",
+        &["wf", "obj", "samples", "CEAL w/o hist", "CEAL w/ hist"],
+        &rows,
+    );
+    json!(out)
+}
+
+fn ceal_vs_alph(wf: &str, obj: Objective, budget: usize, reps: usize) -> (AlgoStats, AlgoStats) {
+    let scen = scenario(wf, obj);
+    let hist = history(wf, obj);
+    let ceal = Ceal::with_history(super::ceal_hist_params(obj), hist.clone());
+    let alph = Alph::with_history(hist);
+    (
+        evaluate_runs(&ceal, &scen, budget, reps),
+        evaluate_runs(&alph, &scen, budget, reps),
+    )
+}
+
+/// Fig. 10: best-config performance, CEAL vs ALpH (both with histories).
+pub fn fig10(reps: usize) -> Value {
+    let panels: &[(&str, Objective, usize)] = &[
+        ("LV", Objective::ExecutionTime, 50),
+        ("LV", Objective::ExecutionTime, 100),
+        ("HS", Objective::ExecutionTime, 50),
+        ("HS", Objective::ExecutionTime, 100),
+        ("LV", Objective::ComputerTime, 25),
+        ("LV", Objective::ComputerTime, 50),
+        ("HS", Objective::ComputerTime, 25),
+        ("HS", Objective::ComputerTime, 50),
+        ("GP", Objective::ComputerTime, 25),
+        ("GP", Objective::ComputerTime, 50),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &(wf, obj, budget) in panels {
+        let (c, a) = ceal_vs_alph(wf, obj, budget, reps);
+        rows.push(vec![
+            wf.into(),
+            obj.label().into(),
+            budget.to_string(),
+            format!("{:.3}", c.mean_normalized),
+            format!("{:.3}", a.mean_normalized),
+        ]);
+        out.push(json!({
+            "workflow": wf, "objective": obj.label(), "budget": budget,
+            "ceal": stats_json(&c), "alph": stats_json(&a),
+        }));
+    }
+    print_table(
+        "Fig. 10: CEAL vs ALpH with histories (normalized; 1.0 = pool best)",
+        &["wf", "obj", "samples", "CEAL", "ALpH"],
+        &rows,
+    );
+    json!(out)
+}
+
+/// Fig. 11: recall scores, CEAL vs ALpH (with histories).
+pub fn fig11(reps: usize) -> Value {
+    let settings: &[(&str, Objective, usize)] = &[
+        ("LV", Objective::ExecutionTime, 50),
+        ("HS", Objective::ExecutionTime, 50),
+        ("LV", Objective::ComputerTime, 25),
+        ("GP", Objective::ComputerTime, 25),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &(wf, obj, budget) in settings {
+        let (c, a) = ceal_vs_alph(wf, obj, budget, reps);
+        for s in [&c, &a] {
+            let mut row = vec![format!("{wf} {} {budget}spl", obj.label()), s.name.clone()];
+            row.extend(s.recall[..9].iter().map(|r| format!("{r:.0}")));
+            rows.push(row);
+        }
+        out.push(json!({
+            "workflow": wf, "objective": obj.label(), "budget": budget,
+            "ceal": stats_json(&c), "alph": stats_json(&a),
+        }));
+    }
+    print_table(
+        "Fig. 11: recall scores (%) with histories",
+        &[
+            "setting", "algo", "n=1", "2", "3", "4", "5", "6", "7", "8", "9",
+        ],
+        &rows,
+    );
+    json!(out)
+}
+
+/// Fig. 12: practicality, CEAL vs ALpH (with histories).
+pub fn fig12(reps: usize) -> Value {
+    let panels: &[(&str, Objective, usize)] = &[
+        ("LV", Objective::ExecutionTime, 50),
+        ("HS", Objective::ExecutionTime, 100),
+        ("LV", Objective::ComputerTime, 25),
+        ("LV", Objective::ComputerTime, 50),
+        ("HS", Objective::ComputerTime, 25),
+        ("HS", Objective::ComputerTime, 50),
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &(wf, obj, budget) in panels {
+        let (c, a) = ceal_vs_alph(wf, obj, budget, reps);
+        for s in [&c, &a] {
+            rows.push(vec![
+                format!("{wf} {} {budget}spl", obj.label()),
+                s.name.clone(),
+                s.least_uses.map_or("n/a".into(), fmt),
+                format!("{:.0}%", s.payoff_rate * 100.0),
+                fmt(s.mean_cost),
+            ]);
+        }
+        out.push(json!({
+            "workflow": wf, "objective": obj.label(), "budget": budget,
+            "ceal": stats_json(&c), "alph": stats_json(&a),
+        }));
+    }
+    print_table(
+        "Fig. 12: practicality with histories",
+        &["setting", "algo", "least uses", "payoff rate", "cost"],
+        &rows,
+    );
+    json!(out)
+}

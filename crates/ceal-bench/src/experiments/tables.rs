@@ -1,0 +1,102 @@
+//! Tables 1 and 2: parameter spaces and best-vs-expert configurations.
+
+use crate::report::{fmt, print_table};
+use crate::scenario::scenario;
+use ceal_core::metrics::top_n;
+use ceal_sim::Objective;
+use serde_json::{json, Value};
+
+/// Table 1: the parameter space of every component of every workflow.
+pub fn table1() -> Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for spec in ceal_apps::all_workflows() {
+        let mut comp_sizes = Vec::new();
+        for comp in &spec.components {
+            let size: f64 = comp.params().iter().map(|p| p.n_options() as f64).product();
+            comp_sizes.push(json!({ "component": comp.name(), "options": size }));
+            for p in comp.params() {
+                rows.push(vec![
+                    spec.name.clone(),
+                    comp.name().to_string(),
+                    p.name.to_string(),
+                    if p.step == 1 {
+                        format!("{}..{}", p.lo, p.hi)
+                    } else {
+                        format!("{}..{} step {}", p.lo, p.hi, p.step)
+                    },
+                    p.n_options().to_string(),
+                ]);
+            }
+        }
+        out.push(json!({
+            "workflow": spec.name,
+            "total_configurations": spec.space_size(),
+            "components": comp_sizes,
+        }));
+        rows.push(vec![
+            spec.name.clone(),
+            "(total)".into(),
+            String::new(),
+            String::new(),
+            format!("{:.2e}", spec.space_size()),
+        ]);
+    }
+    print_table(
+        "Table 1: parameter spaces",
+        &["workflow", "application", "parameter", "options", "count"],
+        &rows,
+    );
+    json!(out)
+}
+
+/// Table 2: best pool configuration vs the expert recommendation, per
+/// workflow and objective.
+pub fn table2() -> Value {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for wf in ["LV", "HS", "GP"] {
+        for obj in [Objective::ExecutionTime, Objective::ComputerTime] {
+            let scen = scenario(wf, obj);
+            let best_idx = top_n(&scen.truth, 1)[0];
+            let unit = match obj {
+                Objective::ExecutionTime => "secs",
+                Objective::ComputerTime => "core-hrs",
+            };
+            rows.push(vec![
+                wf.into(),
+                obj.label().into(),
+                "Best".into(),
+                format!("{} {unit}", fmt(scen.best)),
+                format!("{:?}", scen.pool[best_idx]),
+            ]);
+            rows.push(vec![
+                wf.into(),
+                obj.label().into(),
+                "Expert".into(),
+                format!("{} {unit}", fmt(scen.expert)),
+                format!("{:?}", scen.expert_config),
+            ]);
+            out.push(json!({
+                "workflow": wf,
+                "objective": obj.label(),
+                "best_value": scen.best,
+                "best_config": scen.pool[best_idx],
+                "expert_value": scen.expert,
+                "expert_config": scen.expert_config,
+            }));
+        }
+    }
+    print_table(
+        "Table 2: best vs expert configurations",
+        &[
+            "workflow",
+            "objective",
+            "option",
+            "performance",
+            "configuration",
+        ],
+        &rows,
+    );
+    json!(out)
+}

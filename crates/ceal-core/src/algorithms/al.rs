@@ -1,0 +1,134 @@
+//! AL — batch active learning (paper §7.3).
+//!
+//! "A typical AL algorithm that iteratively selects as training samples a
+//! batch of the best configurations predicted by gradually refined models"
+//! (Mametjanov et al. / Behzad et al.). The first batch is random; each
+//! subsequent batch takes the surrogate's top predictions among unmeasured
+//! pool configurations.
+
+use super::{
+    fit_surrogate_kind, measure_indices, random_unmeasured, score_pool, select_top_unmeasured,
+    Autotuner, SurrogateKind, TunerRun,
+};
+use crate::features::FeatureMap;
+use crate::oracle::Oracle;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The batch-active-learning tuner.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveLearning {
+    /// Number of batches (iterations); the budget is split evenly.
+    pub iterations: usize,
+    /// Surrogate model family.
+    pub surrogate: SurrogateKind,
+}
+
+impl Default for ActiveLearning {
+    fn default() -> Self {
+        Self {
+            iterations: 5,
+            surrogate: SurrogateKind::BoostedTrees,
+        }
+    }
+}
+
+impl Autotuner for ActiveLearning {
+    fn name(&self) -> &'static str {
+        "AL"
+    }
+
+    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let fm = FeatureMap::for_workflow(oracle.spec());
+        let iters = self.iterations.clamp(1, budget.max(1));
+        let batch = (budget / iters).max(1);
+        let mut measured_idx = vec![false; pool.len()];
+        let mut measured = Vec::with_capacity(budget);
+
+        // Batch 0: random seeding.
+        let first = random_unmeasured(&measured_idx, batch.min(budget), &mut rng);
+        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured);
+
+        let mut model = fit_surrogate_kind(self.surrogate, &fm, &measured, seed);
+        while measured.len() < budget {
+            let take = batch.min(budget - measured.len());
+            let scores = score_pool(&fm, model.as_ref(), pool);
+            let picks = select_top_unmeasured(&scores, &measured_idx, take);
+            if picks.is_empty() {
+                break;
+            }
+            measure_indices(oracle, pool, &picks, &mut measured_idx, &mut measured);
+            model =
+                fit_surrogate_kind(self.surrogate, &fm, &measured, seed ^ measured.len() as u64);
+        }
+
+        let scores = score_pool(&fm, model.as_ref(), pool);
+        TunerRun::from_scores(pool, scores, measured, Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{lv_exec_fixture, truth_of};
+    use super::super::RandomSampling;
+    use super::*;
+    use crate::metrics::mean;
+
+    #[test]
+    fn consumes_the_budget_in_batches() {
+        let fix = lv_exec_fixture();
+        let run = ActiveLearning::default().run(&fix.oracle, &fix.pool, 25, 3);
+        assert_eq!(run.runs_used(), 25);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fix = lv_exec_fixture();
+        let a = ActiveLearning::default().run(&fix.oracle, &fix.pool, 20, 11);
+        let b = ActiveLearning::default().run(&fix.oracle, &fix.pool, 20, 11);
+        assert_eq!(a.best_predicted, b.best_predicted);
+    }
+
+    #[test]
+    fn beats_random_sampling_on_average() {
+        let fix = lv_exec_fixture();
+        let al: Vec<f64> = (0..8)
+            .map(|s| {
+                truth_of(
+                    fix,
+                    &ActiveLearning::default()
+                        .run(&fix.oracle, &fix.pool, 30, s)
+                        .best_predicted,
+                )
+            })
+            .collect();
+        let rs: Vec<f64> = (0..8)
+            .map(|s| {
+                truth_of(
+                    fix,
+                    &RandomSampling
+                        .run(&fix.oracle, &fix.pool, 30, s)
+                        .best_predicted,
+                )
+            })
+            .collect();
+        assert!(
+            mean(&al) <= mean(&rs) * 1.05,
+            "AL ({}) should not lose clearly to RS ({})",
+            mean(&al),
+            mean(&rs)
+        );
+    }
+
+    #[test]
+    fn budget_smaller_than_batches_still_works() {
+        let fix = lv_exec_fixture();
+        let run = ActiveLearning {
+            iterations: 10,
+            ..Default::default()
+        }
+        .run(&fix.oracle, &fix.pool, 3, 0);
+        assert_eq!(run.runs_used(), 3);
+    }
+}

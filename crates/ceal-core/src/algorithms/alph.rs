@@ -1,0 +1,215 @@
+//! ALpH — black-box component combination (paper §4, evaluated §7.5).
+//!
+//! The ablation of CEAL's white-box combiner: instead of max/sum, ALpH
+//! *learns* the combination. For each measured workflow configuration it
+//! builds a feature row `[params…, v_1, …, v_J]` — the configuration plus
+//! every component model's solo prediction — and trains a boosted-tree
+//! model `M'_0` mapping that row to the measured workflow value. Sample
+//! selection is plain active learning driven by `M'_0`.
+//!
+//! Its deficiency (which §7.5 quantifies): it ignores the known workflow
+//! structure, so the combination itself must be learned from expensive
+//! coupled runs.
+
+use super::{measure_indices, random_unmeasured, Autotuner, TunerRun};
+use crate::acm::ComponentModels;
+use crate::features::FeatureMap;
+use crate::history::ComponentHistory;
+use crate::oracle::{Measurement, Oracle, SoloMeasurement};
+use ceal_ml::{Dataset, GbtParams, GradientBoosting, Regressor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// The ALpH tuner.
+#[derive(Clone)]
+pub struct Alph {
+    /// Number of active-learning batches.
+    pub iterations: usize,
+    /// Fraction of the budget spent on component solo runs when no history
+    /// is available.
+    pub m_r_fraction: f64,
+    /// Historical component measurements; free when present.
+    pub history: Option<Arc<ComponentHistory>>,
+    /// Component models fitted from `history`, built once per instance.
+    hist_models: std::sync::OnceLock<Arc<ComponentModels>>,
+}
+
+impl Alph {
+    /// ALpH without historical measurements.
+    pub fn new() -> Self {
+        Self {
+            iterations: 5,
+            m_r_fraction: 0.5,
+            history: None,
+            hist_models: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// ALpH reusing historical component measurements.
+    pub fn with_history(history: Arc<ComponentHistory>) -> Self {
+        Self {
+            iterations: 5,
+            m_r_fraction: 0.0,
+            history: Some(history),
+            hist_models: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Builds the augmented feature row for one configuration.
+    fn augmented_row(
+        fm: &FeatureMap,
+        models: &ComponentModels,
+        ranges: &[std::ops::Range<usize>],
+        config: &[i64],
+    ) -> Vec<f64> {
+        let mut row = fm.encode(config);
+        for (j, r) in ranges.iter().enumerate() {
+            row.push(models.predict(j, &config[r.clone()]));
+        }
+        row
+    }
+
+    fn fit_combiner(rows: &[Vec<f64>], measured: &[Measurement], seed: u64) -> GradientBoosting {
+        let ys: Vec<f64> = measured.iter().map(|m| m.value).collect();
+        let mut gbt = GradientBoosting::new(GbtParams::small_sample(seed));
+        gbt.fit(&Dataset::from_rows(rows, &ys));
+        gbt
+    }
+}
+
+impl Default for Alph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Autotuner for Alph {
+    fn name(&self) -> &'static str {
+        "ALpH"
+    }
+
+    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let spec = oracle.spec();
+        let fm = FeatureMap::for_workflow(spec);
+        let ranges = spec.param_ranges();
+
+        // Component models (historical or freshly measured).
+        // At least one component round is required without history.
+        let m_r = if self.history.is_some() {
+            0
+        } else {
+            (((budget as f64) * self.m_r_fraction).round() as usize).clamp(1, budget)
+        };
+        let mut component_runs: Vec<SoloMeasurement> = Vec::new();
+        let mut comp_data = match &self.history {
+            Some(h) => (**h).clone(),
+            None => ComponentHistory::empty(spec.components.len()),
+        };
+        for j in 0..spec.components.len() {
+            for _ in 0..m_r {
+                let values = spec.sample_component_feasible(oracle.platform(), j, &mut rng);
+                let meas = oracle.measure_component(j, &values);
+                comp_data.push(j, values, meas.value);
+                component_runs.push(meas);
+            }
+        }
+        let models = if self.history.is_some() {
+            Arc::clone(
+                self.hist_models
+                    .get_or_init(|| Arc::new(ComponentModels::fit(spec, &comp_data, 0xC0))),
+            )
+        } else {
+            Arc::new(ComponentModels::fit(spec, &comp_data, seed))
+        };
+
+        // Pre-compute augmented rows for the whole pool.
+        let pool_rows: Vec<Vec<f64>> = pool
+            .iter()
+            .map(|c| Self::augmented_row(&fm, &models, &ranges, c))
+            .collect();
+
+        let coupled_budget = budget.saturating_sub(m_r).max(1);
+        let iters = self.iterations.clamp(1, coupled_budget);
+        let batch = (coupled_budget / iters).max(1);
+        let mut measured_idx = vec![false; pool.len()];
+        let mut measured: Vec<Measurement> = Vec::with_capacity(coupled_budget);
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(coupled_budget);
+
+        let first = random_unmeasured(&measured_idx, batch.min(coupled_budget), &mut rng);
+        for &i in &first {
+            rows.push(pool_rows[i].clone());
+        }
+        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured);
+
+        let mut model = Self::fit_combiner(&rows, &measured, seed);
+        while measured.len() < coupled_budget {
+            let take = batch.min(coupled_budget - measured.len());
+            let mut cand: Vec<usize> = (0..pool.len()).filter(|&i| !measured_idx[i]).collect();
+            cand.sort_by(|&a, &b| {
+                model
+                    .predict_row(&pool_rows[a])
+                    .total_cmp(&model.predict_row(&pool_rows[b]))
+                    .then(a.cmp(&b))
+            });
+            cand.truncate(take);
+            if cand.is_empty() {
+                break;
+            }
+            for &i in &cand {
+                rows.push(pool_rows[i].clone());
+            }
+            measure_indices(oracle, pool, &cand, &mut measured_idx, &mut measured);
+            model = Self::fit_combiner(&rows, &measured, seed ^ measured.len() as u64);
+        }
+
+        let scores: Vec<f64> = pool_rows.iter().map(|r| model.predict_row(r)).collect();
+        TunerRun::from_scores(pool, scores, measured, component_runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{lv_exec_fixture, truth_of};
+    use super::*;
+
+    #[test]
+    fn budget_split_between_solo_and_coupled() {
+        let fix = lv_exec_fixture();
+        let run = Alph::new().run(&fix.oracle, &fix.pool, 40, 0);
+        assert_eq!(run.component_runs.len(), 2 * 20);
+        assert!(run.runs_used() <= 20);
+    }
+
+    #[test]
+    fn with_history_uses_full_budget_for_coupled_runs() {
+        let fix = lv_exec_fixture();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let hist = Arc::new(ComponentHistory::collect(&fix.oracle, 80, &mut rng));
+        let run = Alph::with_history(hist).run(&fix.oracle, &fix.pool, 25, 0);
+        assert!(run.component_runs.is_empty());
+        assert_eq!(run.runs_used(), 25);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fix = lv_exec_fixture();
+        let a = Alph::new().run(&fix.oracle, &fix.pool, 30, 4);
+        let b = Alph::new().run(&fix.oracle, &fix.pool, 30, 4);
+        assert_eq!(a.best_predicted, b.best_predicted);
+    }
+
+    #[test]
+    fn recommendation_is_reasonable() {
+        let fix = lv_exec_fixture();
+        let run = Alph::new().run(&fix.oracle, &fix.pool, 40, 2);
+        let v = truth_of(fix, &run.best_predicted);
+        let mut sorted = fix.truth.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        assert!(
+            v <= sorted[sorted.len() / 4],
+            "ALpH pick {v} not in top quartile"
+        );
+    }
+}

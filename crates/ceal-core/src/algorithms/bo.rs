@@ -1,0 +1,255 @@
+//! Bayesian-optimization tuners — the paper's §9 future-work direction.
+//!
+//! Two variants:
+//!
+//! * [`BayesOpt`] — plain BO: a Gaussian-process surrogate with the
+//!   expected-improvement acquisition selects each measurement batch
+//!   (random initial design).
+//! * Bootstrapped BO ([`BayesOpt::bootstrapped`]) — CEAL's phase 1
+//!   (component models + analytical combination) seeds the initial design
+//!   with the low-fidelity model's top picks, exactly as CEAL seeds its
+//!   active learner: the bootstrapping method with BO as the black-box
+//!   technique ("we will use other black-box techniques such as RL and BO
+//!   … in the bootstrapping method", §9).
+
+use super::{measure_indices, random_unmeasured, select_top_unmeasured, Autotuner, TunerRun};
+use crate::acm::{CombineFn, ComponentModels, LowFidelityModel};
+use crate::features::FeatureMap;
+use crate::history::ComponentHistory;
+use crate::oracle::{Oracle, SoloMeasurement};
+use ceal_ml::{expected_improvement, Dataset, GaussianProcess, GpParams, Regressor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// The Bayesian-optimization tuner.
+#[derive(Clone)]
+pub struct BayesOpt {
+    /// Measurement batches after the initial design.
+    pub iterations: usize,
+    /// GP hyperparameters.
+    pub gp: GpParams,
+    /// Bootstrap phase-1 settings: `Some` runs CEAL's component-model
+    /// combination to seed the initial design.
+    pub bootstrap: Option<BoBootstrap>,
+}
+
+/// Phase-1 settings of bootstrapped BO.
+#[derive(Clone)]
+pub struct BoBootstrap {
+    /// Budget fraction for component solo runs (ignored with history).
+    pub m_r_fraction: f64,
+    /// Historical component measurements.
+    pub history: Option<Arc<ComponentHistory>>,
+}
+
+impl BayesOpt {
+    /// Plain BO with a random initial design.
+    pub fn new() -> Self {
+        Self {
+            iterations: 8,
+            gp: GpParams::default(),
+            bootstrap: None,
+        }
+    }
+
+    /// Bootstrapped BO: the low-fidelity model seeds the initial design.
+    pub fn bootstrapped(history: Option<Arc<ComponentHistory>>) -> Self {
+        Self {
+            iterations: 8,
+            gp: GpParams::default(),
+            bootstrap: Some(BoBootstrap {
+                m_r_fraction: if history.is_some() { 0.0 } else { 0.4 },
+                history,
+            }),
+        }
+    }
+
+    fn fit_gp(&self, fm: &FeatureMap, measured: &[crate::oracle::Measurement]) -> GaussianProcess {
+        let rows: Vec<Vec<f64>> = measured.iter().map(|m| fm.encode(&m.config)).collect();
+        let ys: Vec<f64> = measured.iter().map(|m| m.value).collect();
+        let mut gp = GaussianProcess::new(self.gp);
+        gp.fit(&Dataset::from_rows(&rows, &ys));
+        gp
+    }
+}
+
+impl Default for BayesOpt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Autotuner for BayesOpt {
+    fn name(&self) -> &'static str {
+        if self.bootstrap.is_some() {
+            "CEAL-BO"
+        } else {
+            "BO"
+        }
+    }
+
+    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let spec = oracle.spec();
+        let fm = FeatureMap::for_workflow(spec);
+        let encoded: Vec<Vec<f64>> = pool.iter().map(|c| fm.encode(c)).collect();
+
+        // Optional phase 1: component models → low-fidelity seeding.
+        let mut component_runs: Vec<SoloMeasurement> = Vec::new();
+        let mut coupled_budget = budget;
+        let mut seed_scores: Option<Vec<f64>> = None;
+        if let Some(boot) = &self.bootstrap {
+            let m_r = if boot.history.is_some() {
+                0
+            } else {
+                (((budget as f64) * boot.m_r_fraction).round() as usize).clamp(1, budget)
+            };
+            let mut comp_data = match &boot.history {
+                Some(h) => (**h).clone(),
+                None => ComponentHistory::empty(spec.components.len()),
+            };
+            for j in 0..spec.components.len() {
+                for _ in 0..m_r {
+                    let values = spec.sample_component_feasible(oracle.platform(), j, &mut rng);
+                    let meas = oracle.measure_component(j, &values);
+                    comp_data.push(j, values, meas.value);
+                    component_runs.push(meas);
+                }
+            }
+            let ml = LowFidelityModel::new(
+                spec,
+                ComponentModels::fit(spec, &comp_data, seed),
+                CombineFn::for_objective(oracle.objective()),
+            );
+            seed_scores = Some(ml.score_all(pool));
+            coupled_budget = budget.saturating_sub(m_r).max(1);
+        }
+
+        let iters = self.iterations.clamp(1, coupled_budget);
+        let init = (coupled_budget / (iters + 1)).max(1);
+        let mut measured_idx = vec![false; pool.len()];
+        let mut measured = Vec::with_capacity(coupled_budget);
+
+        // Initial design: low-fidelity top picks (bootstrapped) mixed with
+        // randoms, or pure randoms (plain BO).
+        match &seed_scores {
+            Some(scores) => {
+                let n_random = init.div_ceil(2);
+                let randoms =
+                    random_unmeasured(&measured_idx, n_random.min(coupled_budget), &mut rng);
+                for &i in &randoms {
+                    measured_idx[i] = true;
+                }
+                let tops = select_top_unmeasured(
+                    scores,
+                    &measured_idx,
+                    init.saturating_sub(randoms.len()),
+                );
+                for &i in &randoms {
+                    measured_idx[i] = false;
+                }
+                let mut batch = randoms;
+                batch.extend(tops);
+                measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured);
+            }
+            None => {
+                let batch = random_unmeasured(&measured_idx, init.min(coupled_budget), &mut rng);
+                measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured);
+            }
+        }
+
+        // BO loop: fit GP, take the batch with the highest EI.
+        while measured.len() < coupled_budget {
+            let gp = self.fit_gp(&fm, &measured);
+            let best = measured
+                .iter()
+                .map(|m| m.value)
+                .fold(f64::INFINITY, f64::min);
+            let mut ei: Vec<(usize, f64)> = encoded
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !measured_idx[*i])
+                .map(|(i, row)| {
+                    let (mean, var) = gp.predict_with_variance(row);
+                    (i, expected_improvement(mean, var, best))
+                })
+                .collect();
+            ei.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            let take = ((coupled_budget - measured.len())
+                .min((coupled_budget / (iters + 1)).max(1)))
+            .max(1);
+            let batch: Vec<usize> = ei.into_iter().take(take).map(|(i, _)| i).collect();
+            if batch.is_empty() {
+                break;
+            }
+            measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured);
+        }
+
+        // Final surrogate: GP posterior mean over the pool.
+        let gp = self.fit_gp(&fm, &measured);
+        let scores: Vec<f64> = encoded.iter().map(|row| gp.predict_row(row)).collect();
+        TunerRun::from_scores(pool, scores, measured, component_runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{lv_exec_fixture, truth_of};
+    use super::*;
+
+    #[test]
+    fn plain_bo_spends_the_budget() {
+        let fix = lv_exec_fixture();
+        let run = BayesOpt::new().run(&fix.oracle, &fix.pool, 25, 0);
+        assert_eq!(run.runs_used(), 25);
+        assert!(run.component_runs.is_empty());
+        assert_eq!(run.pool_scores.len(), fix.pool.len());
+    }
+
+    #[test]
+    fn bootstrapped_bo_charges_component_runs() {
+        let fix = lv_exec_fixture();
+        let run = BayesOpt::bootstrapped(None).run(&fix.oracle, &fix.pool, 30, 0);
+        assert_eq!(run.component_runs.len(), 2 * 12); // m_R = 0.4·30
+        assert!(run.runs_used() <= 18);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fix = lv_exec_fixture();
+        let bo = BayesOpt::new();
+        let a = bo.run(&fix.oracle, &fix.pool, 20, 4);
+        let b = bo.run(&fix.oracle, &fix.pool, 20, 4);
+        assert_eq!(a.best_predicted, b.best_predicted);
+    }
+
+    #[test]
+    fn bo_finds_good_configurations() {
+        let fix = lv_exec_fixture();
+        let mut sorted = fix.truth.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let q25 = sorted[sorted.len() / 4];
+        let vals: Vec<f64> = (0..6)
+            .map(|s| {
+                truth_of(
+                    fix,
+                    &BayesOpt::new()
+                        .run(&fix.oracle, &fix.pool, 40, s)
+                        .best_predicted,
+                )
+            })
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(
+            mean < q25,
+            "BO mean {mean} should beat the first quartile {q25}"
+        );
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(BayesOpt::new().name(), "BO");
+        assert_eq!(BayesOpt::bootstrapped(None).name(), "CEAL-BO");
+    }
+}

@@ -1,0 +1,302 @@
+//! Didona-style analytical/ML ensembles (paper §8.2) as ablation tuners.
+//!
+//! The paper argues these three classic ways of combining an analytical
+//! model (AM) with ML are ill-suited to in-situ auto-tuning because the
+//! available AM (the low-fidelity combination of component models) is too
+//! rough. Implementing them makes that argument testable:
+//!
+//! * **KNN** — per query, choose AM or ML by whichever has the smaller
+//!   error over the query's K nearest measured configurations.
+//! * **HyBoost** — predict `AM(c) + ML_residual(c)`, the ML model trained
+//!   on the AM's residuals.
+//! * **PR (probing)** — use the AM where its error on the nearest measured
+//!   configuration is below a threshold, ML elsewhere.
+//!
+//! All three select samples with the same batch-active-learning loop AL
+//! uses, driven by their own ensemble prediction, and spend part of the
+//! budget on component solo runs to build the AM (like CEAL).
+
+use super::{measure_indices, random_unmeasured, Autotuner, TunerRun};
+use crate::acm::{CombineFn, ComponentModels, LowFidelityModel};
+use crate::features::FeatureMap;
+use crate::history::ComponentHistory;
+use crate::oracle::{Measurement, Oracle, SoloMeasurement};
+use ceal_ml::{Dataset, GbtParams, GradientBoosting, Regressor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Which ensemble strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnsembleKind {
+    /// Per-query model selection by K-nearest-neighbor validation error.
+    Knn,
+    /// AM plus ML-learned residual correction.
+    HyBoost,
+    /// AM where probing shows it accurate, ML elsewhere.
+    Probing,
+}
+
+impl EnsembleKind {
+    /// Display name used in ablation reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EnsembleKind::Knn => "KNN-ensemble",
+            EnsembleKind::HyBoost => "HyBoost",
+            EnsembleKind::Probing => "PR",
+        }
+    }
+}
+
+/// An ensemble-of-AM-and-ML tuner.
+pub struct EnsembleTuner {
+    /// Strategy.
+    pub kind: EnsembleKind,
+    /// Active-learning batches.
+    pub iterations: usize,
+    /// Budget fraction for component solo runs when no history is given.
+    pub m_r_fraction: f64,
+    /// Neighbors consulted (KNN / probing).
+    pub k: usize,
+    /// Relative-error threshold below which PR trusts the AM.
+    pub probe_threshold: f64,
+    /// Historical component measurements.
+    pub history: Option<Arc<ComponentHistory>>,
+}
+
+impl EnsembleTuner {
+    /// Creates an ensemble tuner with the defaults used in the ablations.
+    pub fn new(kind: EnsembleKind) -> Self {
+        Self {
+            kind,
+            iterations: 5,
+            m_r_fraction: 0.5,
+            k: 5,
+            probe_threshold: 0.25,
+            history: None,
+        }
+    }
+}
+
+struct EnsembleModel<'a> {
+    kind: EnsembleKind,
+    k: usize,
+    probe_threshold: f64,
+    am: &'a LowFidelityModel,
+    ml: Option<GradientBoosting>,
+    residual: Option<GradientBoosting>,
+    fm: &'a FeatureMap,
+    measured: &'a [Measurement],
+}
+
+impl EnsembleModel<'_> {
+    /// Indices of the `k` nearest measured configurations to `config`.
+    fn nearest(&self, config: &[i64]) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.measured.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.fm
+                .distance(&self.measured[a].config, config)
+                .total_cmp(&self.fm.distance(&self.measured[b].config, config))
+        });
+        idx.truncate(self.k.max(1));
+        idx
+    }
+
+    fn predict(&self, config: &[i64]) -> f64 {
+        let am_pred = self.am.score(config);
+        match self.kind {
+            EnsembleKind::HyBoost => match &self.residual {
+                Some(r) => am_pred + r.predict_row(&self.fm.encode(config)),
+                None => am_pred,
+            },
+            EnsembleKind::Knn => {
+                let (Some(ml), false) = (&self.ml, self.measured.is_empty()) else {
+                    return am_pred;
+                };
+                let nn = self.nearest(config);
+                let mut am_err = 0.0;
+                let mut ml_err = 0.0;
+                for &i in &nn {
+                    let m = &self.measured[i];
+                    am_err += (self.am.score(&m.config) - m.value).abs();
+                    ml_err += (ml.predict_row(&self.fm.encode(&m.config)) - m.value).abs();
+                }
+                if ml_err < am_err {
+                    ml.predict_row(&self.fm.encode(config))
+                } else {
+                    am_pred
+                }
+            }
+            EnsembleKind::Probing => {
+                let (Some(ml), false) = (&self.ml, self.measured.is_empty()) else {
+                    return am_pred;
+                };
+                let nn = self.nearest(config);
+                let m = &self.measured[nn[0]];
+                let rel = ((self.am.score(&m.config) - m.value) / m.value.max(1e-12)).abs();
+                if rel <= self.probe_threshold {
+                    am_pred
+                } else {
+                    ml.predict_row(&self.fm.encode(config))
+                }
+            }
+        }
+    }
+}
+
+impl Autotuner for EnsembleTuner {
+    fn name(&self) -> &'static str {
+        self.kind.label()
+    }
+
+    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let spec = oracle.spec();
+        let fm = FeatureMap::for_workflow(spec);
+
+        // Build the AM exactly as CEAL's phase 1 does.
+        // At least one component round is required without history.
+        let m_r = if self.history.is_some() {
+            0
+        } else {
+            (((budget as f64) * self.m_r_fraction).round() as usize).clamp(1, budget)
+        };
+        let mut component_runs: Vec<SoloMeasurement> = Vec::new();
+        let mut comp_data = match &self.history {
+            Some(h) => (**h).clone(),
+            None => ComponentHistory::empty(spec.components.len()),
+        };
+        for j in 0..spec.components.len() {
+            for _ in 0..m_r {
+                let values = spec.sample_component_feasible(oracle.platform(), j, &mut rng);
+                let meas = oracle.measure_component(j, &values);
+                comp_data.push(j, values, meas.value);
+                component_runs.push(meas);
+            }
+        }
+        let am = LowFidelityModel::new(
+            spec,
+            ComponentModels::fit(spec, &comp_data, seed),
+            CombineFn::for_objective(oracle.objective()),
+        );
+
+        let coupled_budget = budget.saturating_sub(m_r).max(1);
+        let iters = self.iterations.clamp(1, coupled_budget);
+        let batch = (coupled_budget / iters).max(1);
+        let mut measured_idx = vec![false; pool.len()];
+        let mut measured: Vec<Measurement> = Vec::with_capacity(coupled_budget);
+
+        let first = random_unmeasured(&measured_idx, batch.min(coupled_budget), &mut rng);
+        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured);
+
+        loop {
+            // (Re)train the ML parts on everything measured so far.
+            let rows: Vec<Vec<f64>> = measured.iter().map(|m| fm.encode(&m.config)).collect();
+            let ys: Vec<f64> = measured.iter().map(|m| m.value).collect();
+            let mut ml_model = GradientBoosting::new(GbtParams::small_sample(seed));
+            ml_model.fit(&Dataset::from_rows(&rows, &ys));
+            let residual = if self.kind == EnsembleKind::HyBoost {
+                let res: Vec<f64> = measured
+                    .iter()
+                    .map(|m| m.value - am.score(&m.config))
+                    .collect();
+                let mut r = GradientBoosting::new(GbtParams::small_sample(seed ^ 1));
+                r.fit(&Dataset::from_rows(&rows, &res));
+                Some(r)
+            } else {
+                None
+            };
+            let model = EnsembleModel {
+                kind: self.kind,
+                k: self.k,
+                probe_threshold: self.probe_threshold,
+                am: &am,
+                ml: Some(ml_model),
+                residual,
+                fm: &fm,
+                measured: &measured,
+            };
+
+            if measured.len() >= coupled_budget {
+                // Final scoring pass.
+                let scores: Vec<f64> = pool.iter().map(|c| model.predict(c)).collect();
+                return TunerRun::from_scores(pool, scores, measured, component_runs);
+            }
+
+            let take = batch.min(coupled_budget - measured.len());
+            let mut cand: Vec<usize> = (0..pool.len()).filter(|&i| !measured_idx[i]).collect();
+            let scores: Vec<f64> = pool.iter().map(|c| model.predict(c)).collect();
+            cand.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+            cand.truncate(take);
+            measure_indices(oracle, pool, &cand, &mut measured_idx, &mut measured);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{lv_exec_fixture, truth_of};
+    use super::*;
+
+    #[test]
+    fn all_kinds_run_within_budget() {
+        let fix = lv_exec_fixture();
+        for kind in [
+            EnsembleKind::Knn,
+            EnsembleKind::HyBoost,
+            EnsembleKind::Probing,
+        ] {
+            let run = EnsembleTuner::new(kind).run(&fix.oracle, &fix.pool, 30, 0);
+            assert!(
+                run.runs_used() <= 15,
+                "{}: {}",
+                kind.label(),
+                run.runs_used()
+            );
+            assert_eq!(run.pool_scores.len(), fix.pool.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fix = lv_exec_fixture();
+        let t = EnsembleTuner::new(EnsembleKind::HyBoost);
+        let a = t.run(&fix.oracle, &fix.pool, 24, 3);
+        let b = t.run(&fix.oracle, &fix.pool, 24, 3);
+        assert_eq!(a.best_predicted, b.best_predicted);
+    }
+
+    #[test]
+    fn recommendations_are_not_absurd() {
+        let fix = lv_exec_fixture();
+        let mut sorted = fix.truth.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        for kind in [
+            EnsembleKind::Knn,
+            EnsembleKind::HyBoost,
+            EnsembleKind::Probing,
+        ] {
+            let run = EnsembleTuner::new(kind).run(&fix.oracle, &fix.pool, 40, 1);
+            let v = truth_of(fix, &run.best_predicted);
+            assert!(
+                v < median,
+                "{} picked {v} worse than median {median}",
+                kind.label()
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = [
+            EnsembleKind::Knn,
+            EnsembleKind::HyBoost,
+            EnsembleKind::Probing,
+        ]
+        .iter()
+        .map(|k| k.label())
+        .collect();
+        assert_eq!(labels, vec!["KNN-ensemble", "HyBoost", "PR"]);
+    }
+}

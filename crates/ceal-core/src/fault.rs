@@ -1,0 +1,279 @@
+//! Job-level fault tolerance for the collector.
+//!
+//! The paper's auto-tuner enhanced Swift/T with `MPI_Comm_launch` precisely
+//! so that a crashed workflow run would not kill the whole tuning campaign
+//! (§7.1). This module provides the equivalent for any [`Oracle`]:
+//!
+//! * [`FaultInjector`] — wraps an oracle and makes a deterministic,
+//!   seed-controlled fraction of measurements fail (the testing side:
+//!   tuners and collectors can be exercised under failure).
+//! * [`RetryingCollector`] — wraps a fallible oracle and retries failed
+//!   measurements up to a bound, charging the wasted attempts to the
+//!   collection cost exactly as a real campaign would pay for crashed
+//!   runs.
+
+use crate::oracle::{Measurement, Oracle, SoloMeasurement};
+use ceal_sim::{Objective, Platform, WorkflowSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error returned when an injected fault fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasurementFailed {
+    /// Attempt number that failed (1-based).
+    pub attempt: u64,
+}
+
+impl std::fmt::Display for MeasurementFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "measurement attempt {} crashed", self.attempt)
+    }
+}
+
+impl std::error::Error for MeasurementFailed {}
+
+/// Wraps an oracle, failing a deterministic fraction of measurement
+/// attempts.
+///
+/// Failures are a pure function of `(config, attempt)`, so retrying the
+/// same configuration eventually succeeds — modelling transient job
+/// crashes (node failures, launch timeouts) rather than configurations
+/// that can never run.
+pub struct FaultInjector<'a> {
+    inner: &'a dyn Oracle,
+    /// Probability in [0, 1) that any given attempt fails.
+    failure_rate: f64,
+    seed: u64,
+    attempts: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl<'a> FaultInjector<'a> {
+    /// Creates an injector failing `failure_rate` of attempts.
+    pub fn new(inner: &'a dyn Oracle, failure_rate: f64, seed: u64) -> Self {
+        Self {
+            inner,
+            failure_rate: failure_rate.clamp(0.0, 0.999),
+            seed,
+            attempts: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Total attempts observed.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Total injected failures.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    fn roll(&self, config: &[i64], attempt: u64) -> bool {
+        // Deterministic hash of (seed, config, attempt) → uniform in [0,1),
+        // finalized splitmix64-style for full avalanche (a plain FNV fold
+        // barely moves the high bits when only `attempt` changes).
+        let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ self.seed;
+        for &v in config {
+            h ^= v as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        (h >> 11) as f64 / (1u64 << 53) as f64 <= self.failure_rate
+    }
+
+    /// Attempts one measurement; fails deterministically per
+    /// `(config, attempt)`.
+    pub fn try_measure(
+        &self,
+        config: &[i64],
+        attempt: u64,
+    ) -> Result<Measurement, MeasurementFailed> {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        if self.roll(config, attempt) {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+            Err(MeasurementFailed { attempt })
+        } else {
+            Ok(self.inner.measure(config))
+        }
+    }
+}
+
+/// A fault-tolerant collector: retries failed attempts and bills the
+/// wasted runs.
+///
+/// Implements [`Oracle`] so any tuner runs unchanged on an unreliable
+/// testbed; the crashed attempts' cost shows up in
+/// [`RetryingCollector::wasted_cost`] (a crashed run still consumed its
+/// allocation until the crash — modelled as one full run cost, the
+/// worst case).
+pub struct RetryingCollector<'a> {
+    injector: &'a FaultInjector<'a>,
+    /// Maximum attempts per configuration (≥ 1).
+    pub max_attempts: u64,
+    wasted_exec: AtomicU64,
+    wasted_comp: AtomicU64,
+}
+
+impl<'a> RetryingCollector<'a> {
+    /// Creates a collector retrying up to `max_attempts` times.
+    pub fn new(injector: &'a FaultInjector<'a>, max_attempts: u64) -> Self {
+        Self {
+            injector,
+            max_attempts: max_attempts.max(1),
+            wasted_exec: AtomicU64::new(0),
+            wasted_comp: AtomicU64::new(0),
+        }
+    }
+
+    /// Cost of crashed attempts in the given objective's units
+    /// (milli-units internally, rounded).
+    pub fn wasted_cost(&self, objective: Objective) -> f64 {
+        let milli = match objective {
+            Objective::ExecutionTime => self.wasted_exec.load(Ordering::Relaxed),
+            Objective::ComputerTime => self.wasted_comp.load(Ordering::Relaxed),
+        };
+        milli as f64 / 1000.0
+    }
+}
+
+impl Oracle for RetryingCollector<'_> {
+    fn spec(&self) -> &WorkflowSpec {
+        self.injector.inner.spec()
+    }
+
+    fn platform(&self) -> &Platform {
+        self.injector.inner.platform()
+    }
+
+    fn objective(&self) -> Objective {
+        self.injector.inner.objective()
+    }
+
+    fn measure(&self, config: &[i64]) -> Measurement {
+        for attempt in 1..=self.max_attempts {
+            match self.injector.try_measure(config, attempt) {
+                Ok(m) => return m,
+                Err(_) if attempt < self.max_attempts => {
+                    // Bill the crashed attempt as one full run.
+                    let truth = self.injector.inner.measure(config);
+                    self.wasted_exec
+                        .fetch_add((truth.exec_time * 1000.0) as u64, Ordering::Relaxed);
+                    self.wasted_comp
+                        .fetch_add((truth.computer_time * 1000.0) as u64, Ordering::Relaxed);
+                }
+                Err(e) => panic!(
+                    "configuration {config:?} failed {} consecutive attempts: {e}",
+                    self.max_attempts
+                ),
+            }
+        }
+        unreachable!("loop returns or panics")
+    }
+
+    fn measure_component(&self, component: usize, values: &[i64]) -> SoloMeasurement {
+        // Component runs are short; model them as reliable.
+        self.injector.inner.measure_component(component, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Autotuner, RandomSampling};
+    use crate::oracle::SimOracle;
+    use crate::pool::sample_pool;
+    use ceal_sim::Simulator;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn base() -> (Vec<Vec<i64>>, SimOracle) {
+        let spec = ceal_apps::lv();
+        let sim = Simulator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let pool = sample_pool(&spec, &sim.platform, 40, &mut rng);
+        (pool, SimOracle::new(sim, spec, Objective::ExecutionTime, 3))
+    }
+
+    #[test]
+    fn injector_fails_roughly_the_requested_fraction() {
+        let (pool, oracle) = base();
+        let inj = FaultInjector::new(&oracle, 0.3, 7);
+        let mut failed = 0;
+        for (i, cfg) in pool.iter().cycle().take(400).enumerate() {
+            if inj.try_measure(cfg, i as u64).is_err() {
+                failed += 1;
+            }
+        }
+        let rate = failed as f64 / 400.0;
+        assert!((0.2..0.4).contains(&rate), "observed failure rate {rate}");
+        assert_eq!(inj.attempts(), 400);
+        assert_eq!(inj.failures(), failed);
+    }
+
+    #[test]
+    fn failures_are_deterministic_and_transient() {
+        let (pool, oracle) = base();
+        let inj = FaultInjector::new(&oracle, 0.5, 1);
+        let cfg = &pool[0];
+        let first = inj.try_measure(cfg, 1).is_err();
+        assert_eq!(
+            inj.try_measure(cfg, 1).is_err(),
+            first,
+            "same attempt must repeat"
+        );
+        // Some attempt within a handful succeeds (transient faults).
+        let ok = (1..10).any(|a| inj.try_measure(cfg, a).is_ok());
+        assert!(ok, "faults should be transient");
+    }
+
+    #[test]
+    fn collector_retries_and_bills_waste() {
+        let (pool, oracle) = base();
+        let inj = FaultInjector::new(&oracle, 0.4, 11);
+        let col = RetryingCollector::new(&inj, 10);
+        for cfg in &pool {
+            let m = col.measure(cfg);
+            assert!(m.value > 0.0);
+        }
+        assert!(inj.failures() > 0, "fixture should have injected failures");
+        assert!(col.wasted_cost(Objective::ExecutionTime) > 0.0);
+        assert!(col.wasted_cost(Objective::ComputerTime) > 0.0);
+    }
+
+    #[test]
+    fn tuners_run_unchanged_on_a_flaky_testbed() {
+        let (pool, oracle) = base();
+        let inj = FaultInjector::new(&oracle, 0.25, 13);
+        let col = RetryingCollector::new(&inj, 25);
+        let run = RandomSampling.run(&col, &pool, 15, 0);
+        assert_eq!(run.runs_used(), 15);
+        // Results identical to the reliable oracle: retries hide the faults.
+        let reliable = RandomSampling.run(&oracle, &pool, 15, 0);
+        assert_eq!(run.best_predicted, reliable.best_predicted);
+    }
+
+    #[test]
+    fn zero_rate_never_fails() {
+        let (pool, oracle) = base();
+        let inj = FaultInjector::new(&oracle, 0.0, 0);
+        for (i, cfg) in pool.iter().take(50).enumerate() {
+            assert!(inj.try_measure(cfg, i as u64).is_ok());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive attempts")]
+    fn exhausted_retries_panic_with_context() {
+        let (pool, oracle) = base();
+        // 99.9 % failure rate with one attempt: practically guaranteed.
+        let inj = FaultInjector::new(&oracle, 0.999, 2);
+        let col = RetryingCollector::new(&inj, 1);
+        for cfg in &pool {
+            let _ = col.measure(cfg); // some config will fail its only attempt
+        }
+    }
+}

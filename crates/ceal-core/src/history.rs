@@ -1,0 +1,158 @@
+//! Historical component measurements `D_hist` (paper §7.5).
+//!
+//! Component applications are reused across workflows and standalone
+//! studies, so configuration–performance samples from earlier solo runs are
+//! often available for free. CEAL folds them into component-model training
+//! without charging them against the tuning budget; the paper measured 500
+//! random solo configurations per configurable component for this purpose.
+
+use crate::oracle::Oracle;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Per-component solo configuration–value samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct ComponentHistory {
+    /// `samples[j]` holds `(values, objective_value)` pairs for component
+    /// `j`.
+    pub samples: Vec<Vec<(Vec<i64>, f64)>>,
+}
+
+impl ComponentHistory {
+    /// An empty history for a workflow with `n_components` components.
+    pub fn empty(n_components: usize) -> Self {
+        Self {
+            samples: vec![Vec::new(); n_components],
+        }
+    }
+
+    /// Measures `per_component` random solo configurations of every
+    /// component (the paper's 500-sample historical dataset).
+    ///
+    /// Components whose parameter grid admits fewer distinct configurations
+    /// get correspondingly fewer samples (fixed plotters get one).
+    pub fn collect<R: Rng>(oracle: &dyn Oracle, per_component: usize, rng: &mut R) -> Self {
+        let spec = oracle.spec();
+        let mut samples = Vec::with_capacity(spec.components.len());
+        for (j, comp) in spec.components.iter().enumerate() {
+            let space: f64 = comp.params().iter().map(|p| p.n_options() as f64).product();
+            let n = (per_component as f64).min(space) as usize;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let values = spec.sample_component_feasible(oracle.platform(), j, rng);
+                let m = oracle.measure_component(j, &values);
+                rows.push((values, m.value));
+            }
+            samples.push(rows);
+        }
+        Self { samples }
+    }
+
+    /// Number of components covered.
+    pub fn n_components(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total stored samples.
+    pub fn total_samples(&self) -> usize {
+        self.samples.iter().map(Vec::len).sum()
+    }
+
+    /// Appends a sample for component `j`.
+    pub fn push(&mut self, component: usize, values: Vec<i64>, value: f64) {
+        self.samples[component].push((values, value));
+    }
+
+    /// Persists the history as JSON — component measurements outlive any
+    /// one tuning session and are reused across workflows (§7.5), so they
+    /// need a durable form.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer(std::io::BufWriter::new(file), self).map_err(std::io::Error::other)
+    }
+
+    /// Loads a history saved with [`ComponentHistory::save`].
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+    }
+
+    /// Merges another history collected for the same workflow (e.g. from a
+    /// different campaign), component by component.
+    ///
+    /// # Panics
+    /// Panics on component-count mismatch.
+    pub fn merge(&mut self, other: &ComponentHistory) {
+        assert_eq!(
+            self.n_components(),
+            other.n_components(),
+            "component count mismatch"
+        );
+        for (mine, theirs) in self.samples.iter_mut().zip(&other.samples) {
+            mine.extend(theirs.iter().cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimOracle;
+    use ceal_apps::gp;
+    use ceal_sim::{Objective, Simulator};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn collects_per_component_capped_by_space() {
+        let oracle = SimOracle::new(Simulator::new(), gp(), Objective::ComputerTime, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let hist = ComponentHistory::collect(&oracle, 20, &mut rng);
+        assert_eq!(hist.n_components(), 4);
+        assert_eq!(hist.samples[0].len(), 20); // gray-scott
+        assert_eq!(hist.samples[1].len(), 20); // pdf
+        assert_eq!(hist.samples[2].len(), 1); // g-plot: single config
+        assert_eq!(hist.samples[3].len(), 1); // p-plot
+        assert_eq!(hist.total_samples(), 42);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut h = ComponentHistory::empty(2);
+        h.push(1, vec![4, 2], 1.5);
+        assert_eq!(h.samples[1], vec![(vec![4, 2], 1.5)]);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut h = ComponentHistory::empty(2);
+        h.push(0, vec![10, 2], 3.25);
+        h.push(1, vec![7], 0.5);
+        let path = std::env::temp_dir().join("ceal-history-roundtrip.json");
+        h.save(&path).unwrap();
+        let loaded = ComponentHistory::load(&path).unwrap();
+        assert_eq!(loaded, h);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn merge_concatenates_per_component() {
+        let mut a = ComponentHistory::empty(2);
+        a.push(0, vec![1], 1.0);
+        let mut b = ComponentHistory::empty(2);
+        b.push(0, vec![2], 2.0);
+        b.push(1, vec![3], 3.0);
+        a.merge(&b);
+        assert_eq!(a.samples[0].len(), 2);
+        assert_eq!(a.samples[1].len(), 1);
+        assert_eq!(a.total_samples(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "component count mismatch")]
+    fn merge_rejects_mismatched_shapes() {
+        let mut a = ComponentHistory::empty(1);
+        a.merge(&ComponentHistory::empty(2));
+    }
+}

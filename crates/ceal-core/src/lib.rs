@@ -1,0 +1,43 @@
+//! CEAL — Component-based Ensemble Active Learning.
+//!
+//! The paper's contribution: auto-tune an in-situ workflow under a tight
+//! measurement budget by **bootstrapping** a high-fidelity ML surrogate
+//! with a low-fidelity model assembled from per-component performance
+//! models through an analytical coupling model (ACM).
+//!
+//! Crate map (paper section in parentheses):
+//!
+//! * [`oracle`] — the collector abstraction: measuring a workflow or
+//!   component configuration (§2.2's collector).
+//! * [`features`] — configuration ↔ ML feature encoding.
+//! * [`acm`] — component models + max/sum combination (§4, Eq. 1–2).
+//! * [`pool`] — the candidate sample pool `C_pool` (§5).
+//! * [`algorithms`] — [`algorithms::Ceal`] (Alg. 1) and the comparison
+//!   tuners [`algorithms::RandomSampling`], [`algorithms::ActiveLearning`],
+//!   [`algorithms::Geist`], [`algorithms::Alph`] (§7.3), plus the Didona
+//!   ensemble ablations (§8.2).
+//! * [`metrics`] — recall score (§7.2.2, Eq. 3), MdAPE breakdowns
+//!   (§7.4.2), the practicality metric (§7.2.3).
+//! * [`history`] — historical component measurements `D_hist` (§7.5).
+//! * [`fault`] — job-level fault tolerance for the collector (§7.1's
+//!   `MPI_Comm_launch` enhancement, as injection + retry wrappers).
+
+pub mod acm;
+pub mod algorithms;
+pub mod fault;
+pub mod features;
+pub mod history;
+pub mod metrics;
+pub mod oracle;
+pub mod pool;
+
+pub use acm::{CombineFn, ComponentModels, LowFidelityModel};
+pub use algorithms::{
+    ActiveLearning, Alph, Autotuner, BanditTuner, BayesOpt, Ceal, CealParams, EnsembleKind,
+    EnsembleTuner, Geist, RandomSampling, SurrogateKind, SwitchMode, TunerRun,
+};
+pub use fault::{FaultInjector, RetryingCollector};
+pub use features::FeatureMap;
+pub use history::ComponentHistory;
+pub use oracle::{Measurement, Oracle, PoolOracle, SimOracle};
+pub use pool::sample_pool;

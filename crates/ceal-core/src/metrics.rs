@@ -1,0 +1,132 @@
+//! Evaluation metrics for auto-tuning algorithms (paper §7.2).
+//!
+//! All metrics treat *lower objective values as better* (times).
+
+/// Indices of the `n` lowest values, ties broken by index (stable).
+pub fn top_n(values: &[f64], n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]).then(a.cmp(&b)));
+    idx.truncate(n);
+    idx
+}
+
+/// Recall score `S_r(n)` (paper Eq. 3): the percentage overlap between the
+/// top-`n` configurations by model score and the top-`n` by measured truth.
+///
+/// Returns 0 for `n == 0` or empty inputs.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn recall_score(n: usize, scores: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(scores.len(), truths.len(), "scores/truths length mismatch");
+    if n == 0 || scores.is_empty() {
+        return 0.0;
+    }
+    let pred = top_n(scores, n);
+    let act = top_n(truths, n);
+    let hits = pred.iter().filter(|i| act.contains(i)).count();
+    hits as f64 / n as f64 * 100.0
+}
+
+/// Recall scores for `n = 1..=max_n` (paper Figs. 4, 7, 11).
+pub fn recall_curve(max_n: usize, scores: &[f64], truths: &[f64]) -> Vec<f64> {
+    (1..=max_n)
+        .map(|n| recall_score(n, scores, truths))
+        .collect()
+}
+
+/// MdAPE of model `scores` against `truths`, restricted to the
+/// configurations whose *true* value is within the best `fraction`
+/// (paper Fig. 6 uses the top 2 % and all).
+pub fn mdape_top_fraction(scores: &[f64], truths: &[f64], fraction: f64) -> f64 {
+    assert_eq!(scores.len(), truths.len(), "scores/truths length mismatch");
+    let n = ((truths.len() as f64) * fraction).ceil() as usize;
+    let idx = top_n(truths, n.clamp(1, truths.len()));
+    let t: Vec<f64> = idx.iter().map(|&i| truths[i]).collect();
+    let s: Vec<f64> = idx.iter().map(|&i| scores[i]).collect();
+    ceal_ml::metrics::mdape(&t, &s)
+}
+
+/// The practicality metric `N = c / Δp` (paper §7.2.3): workflow uses
+/// needed to recoup the data-collection cost `c`, given the per-run
+/// improvement `Δp = expert − tuned` of the tuned configuration over the
+/// expert recommendation.
+///
+/// Returns `None` when the tuned configuration is no better than the
+/// expert's (the auto-tuning never pays off).
+pub fn least_number_of_uses(collection_cost: f64, tuned: f64, expert: f64) -> Option<f64> {
+    let delta = expert - tuned;
+    if delta <= 0.0 {
+        None
+    } else {
+        Some(collection_cost / delta)
+    }
+}
+
+/// Arithmetic mean (0 for empty input) — convenience for aggregating
+/// repetitions.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_n_is_stable_under_ties() {
+        assert_eq!(top_n(&[2.0, 1.0, 2.0, 0.5], 3), vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn perfect_model_has_full_recall() {
+        let truths = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(recall_score(3, &truths, &truths), 100.0);
+        assert_eq!(recall_curve(3, &truths, &truths), vec![100.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn anti_correlated_model_has_zero_recall_at_small_n() {
+        let truths = [1.0, 2.0, 3.0, 4.0];
+        let scores = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(recall_score(1, &scores, &truths), 0.0);
+        assert_eq!(recall_score(2, &scores, &truths), 0.0);
+        // At n = len the sets necessarily coincide.
+        assert_eq!(recall_score(4, &scores, &truths), 100.0);
+    }
+
+    #[test]
+    fn recall_of_partial_overlap() {
+        let truths = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let scores = [1.0, 5.0, 2.0, 3.0, 4.0]; // model top-2 = {0, 2}, actual {0, 1}
+        assert_eq!(recall_score(2, &scores, &truths), 50.0);
+    }
+
+    #[test]
+    fn mdape_top_fraction_restricts_to_best() {
+        // truths: best two are indices 0, 1. Model is exact there, 100% off
+        // elsewhere.
+        let truths = [1.0, 2.0, 10.0, 20.0];
+        let scores = [1.0, 2.0, 20.0, 40.0];
+        assert_eq!(mdape_top_fraction(&scores, &truths, 0.5), 0.0);
+        assert!(mdape_top_fraction(&scores, &truths, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn practicality_examples() {
+        // Cost 300 core-hours, saves 0.5 core-hours per run → 600 uses.
+        assert_eq!(least_number_of_uses(300.0, 3.5, 4.0), Some(600.0));
+        assert_eq!(least_number_of_uses(300.0, 4.5, 4.0), None);
+        assert_eq!(least_number_of_uses(300.0, 4.0, 4.0), None);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Edge-case and robustness tests of the tuning algorithms: degenerate
+//! budgets, pool exhaustion, and ablation-knob behaviour.
+
+use ceal_core::{
+    sample_pool, ActiveLearning, Alph, Autotuner, Ceal, CealParams, EnsembleKind, EnsembleTuner,
+    Geist, PoolOracle, RandomSampling, SimOracle, SurrogateKind, SwitchMode,
+};
+use ceal_sim::{Objective, Simulator};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (Vec<Vec<i64>>, PoolOracle) {
+    static FIX: OnceLock<(Vec<Vec<i64>>, PoolOracle)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let spec = ceal_apps::hs();
+        let sim = Simulator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let pool = sample_pool(&spec, &sim.platform, 120, &mut rng);
+        let oracle = PoolOracle::precompute(
+            SimOracle::new(sim, spec, Objective::ExecutionTime, 2),
+            &pool,
+        );
+        (pool, oracle)
+    })
+}
+
+fn all_algorithms() -> Vec<Box<dyn Autotuner>> {
+    vec![
+        Box::new(RandomSampling),
+        Box::new(ActiveLearning::default()),
+        Box::new(Geist::default()),
+        Box::new(Ceal::new(CealParams::without_history())),
+        Box::new(Alph::new()),
+        Box::new(EnsembleTuner::new(EnsembleKind::Knn)),
+        Box::new(EnsembleTuner::new(EnsembleKind::HyBoost)),
+        Box::new(EnsembleTuner::new(EnsembleKind::Probing)),
+    ]
+}
+
+#[test]
+fn minimal_budget_is_survivable_for_every_algorithm() {
+    let (pool, oracle) = fixture();
+    for algo in all_algorithms() {
+        for budget in [1usize, 2, 3] {
+            let run = algo.run(oracle, pool, budget, 0);
+            assert!(
+                run.runs_used() >= 1 && run.runs_used() <= budget.max(1),
+                "{} used {} runs for budget {budget}",
+                algo.name(),
+                run.runs_used()
+            );
+            assert_eq!(run.pool_scores.len(), pool.len());
+            assert!(pool.contains(&run.best_predicted));
+        }
+    }
+}
+
+#[test]
+fn budget_larger_than_pool_stops_at_pool() {
+    let (pool, oracle) = fixture();
+    for algo in [
+        Box::new(RandomSampling) as Box<dyn Autotuner>,
+        Box::new(ActiveLearning::default()),
+    ] {
+        let run = algo.run(oracle, pool, 500, 0);
+        assert!(run.runs_used() <= pool.len());
+    }
+}
+
+#[test]
+fn no_configuration_is_measured_twice() {
+    let (pool, oracle) = fixture();
+    for algo in all_algorithms() {
+        let run = algo.run(oracle, pool, 30, 1);
+        let mut configs: Vec<&Vec<i64>> = run.measured.iter().map(|m| &m.config).collect();
+        let before = configs.len();
+        configs.sort();
+        configs.dedup();
+        assert_eq!(
+            configs.len(),
+            before,
+            "{} re-measured a config",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn switch_modes_change_behaviour() {
+    let (pool, oracle) = fixture();
+    let runs: Vec<_> = [
+        SwitchMode::Dynamic,
+        SwitchMode::NeverSwitch,
+        SwitchMode::Immediate,
+    ]
+    .into_iter()
+    .map(|mode| {
+        let ceal = Ceal::new(CealParams {
+            switch_mode: mode,
+            ..CealParams::without_history()
+        });
+        ceal.run(oracle, pool, 40, 3)
+    })
+    .collect();
+    // NeverSwitch selects with M_L throughout; Immediate with M_H from
+    // iteration 2 — their sample sets should differ from each other.
+    let sets: Vec<Vec<&Vec<i64>>> = runs
+        .iter()
+        .map(|r| r.measured.iter().map(|m| &m.config).collect())
+        .collect();
+    assert_ne!(sets[1], sets[2], "switch mode had no effect on selection");
+}
+
+#[test]
+fn surrogate_kinds_all_work_inside_ceal() {
+    let (pool, oracle) = fixture();
+    for kind in [
+        SurrogateKind::BoostedTrees,
+        SurrogateKind::RandomForest,
+        SurrogateKind::Knn,
+    ] {
+        let ceal = Ceal::new(CealParams {
+            surrogate: kind,
+            ..CealParams::without_history()
+        });
+        let run = ceal.run(oracle, pool, 30, 0);
+        assert!(run.pool_scores.iter().all(|s| s.is_finite()));
+    }
+}
+
+#[test]
+fn geist_full_exploration_fraction_degenerates_to_random() {
+    let (pool, oracle) = fixture();
+    let geist = Geist {
+        explore_fraction: 1.0,
+        ..Geist::default()
+    };
+    let run = geist.run(oracle, pool, 25, 0);
+    assert_eq!(run.runs_used(), 25);
+}
+
+#[test]
+fn alph_scores_entire_pool_with_augmented_features() {
+    let (pool, oracle) = fixture();
+    let run = Alph::new().run(oracle, pool, 30, 0);
+    assert_eq!(run.pool_scores.len(), pool.len());
+    assert!(run.pool_scores.iter().all(|s| s.is_finite() && *s > 0.0));
+}

@@ -1,0 +1,151 @@
+//! k-fold cross-validation over any [`Regressor`].
+//!
+//! Used by the tests to sanity-check surrogate quality and by the Didona
+//! KNN-ensemble ablation, which needs held-out accuracy estimates per model.
+
+use crate::dataset::Dataset;
+use crate::metrics;
+use crate::Regressor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Per-fold and aggregate scores from a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvReport {
+    /// RMSE per fold.
+    pub fold_rmse: Vec<f64>,
+    /// MdAPE (percent) per fold.
+    pub fold_mdape: Vec<f64>,
+}
+
+impl CvReport {
+    /// Mean RMSE across folds.
+    pub fn mean_rmse(&self) -> f64 {
+        mean(&self.fold_rmse)
+    }
+
+    /// Mean MdAPE across folds.
+    pub fn mean_mdape(&self) -> f64 {
+        mean(&self.fold_mdape)
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Splits `n` row indices into `k` shuffled folds of near-equal size.
+pub fn kfold_indices<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    let k = k.clamp(1, n.max(1));
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (pos, i) in idx.into_iter().enumerate() {
+        folds[pos % k].push(i);
+    }
+    folds
+}
+
+/// Runs k-fold cross-validation of `make_model` on `data`.
+///
+/// `make_model` constructs a fresh model per fold so no state leaks across
+/// folds.
+pub fn cross_validate<R: Rng, M: Regressor, F: Fn() -> M>(
+    data: &Dataset,
+    k: usize,
+    rng: &mut R,
+    make_model: F,
+) -> CvReport {
+    let folds = kfold_indices(data.n_rows(), k, rng);
+    let mut report = CvReport {
+        fold_rmse: Vec::new(),
+        fold_mdape: Vec::new(),
+    };
+    for held_out in 0..folds.len() {
+        let test_idx = &folds[held_out];
+        if test_idx.is_empty() {
+            continue;
+        }
+        let train_idx: Vec<usize> = folds
+            .iter()
+            .enumerate()
+            .filter(|(f, _)| *f != held_out)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        if train_idx.is_empty() {
+            continue;
+        }
+        let train = data.select(&train_idx);
+        let test = data.select(test_idx);
+        let mut model = make_model();
+        model.fit(&train);
+        let preds = model.predict_batch(&test);
+        report.fold_rmse.push(metrics::rmse(test.targets(), &preds));
+        report
+            .fold_mdape
+            .push(metrics::mdape(test.targets(), &preds));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbt::{GbtParams, GradientBoosting};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn data() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 12) as f64]).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| r[0] * 3.0 + 1.0).collect();
+        Dataset::from_rows(&rows, &ys)
+    }
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let folds = kfold_indices(25, 4, &mut rng);
+        assert_eq!(folds.len(), 4);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..25).collect::<Vec<_>>());
+        for f in &folds {
+            assert!(f.len() == 6 || f.len() == 7);
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_row_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let folds = kfold_indices(3, 10, &mut rng);
+        assert_eq!(folds.len(), 3);
+    }
+
+    #[test]
+    fn cross_validation_scores_easy_function() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let report = cross_validate(&data(), 5, &mut rng, || {
+            GradientBoosting::new(GbtParams {
+                n_rounds: 60,
+                ..Default::default()
+            })
+        });
+        assert_eq!(report.fold_rmse.len(), 5);
+        assert!(report.mean_rmse() < 2.0, "rmse {}", report.mean_rmse());
+        assert!(report.mean_mdape() < 25.0, "mdape {}", report.mean_mdape());
+    }
+
+    #[test]
+    fn empty_report_means_are_zero() {
+        let r = CvReport {
+            fold_rmse: vec![],
+            fold_mdape: vec![],
+        };
+        assert_eq!(r.mean_rmse(), 0.0);
+        assert_eq!(r.mean_mdape(), 0.0);
+    }
+}

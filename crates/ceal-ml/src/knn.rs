@@ -1,0 +1,153 @@
+//! k-nearest-neighbor regression with per-feature min-max normalization.
+//!
+//! Used by the Didona-style KNN ensemble ablation (paper §8.2), which picks
+//! among candidate models based on accuracy over a configuration's nearest
+//! measured neighbors, and as an alternative surrogate in ablation benches.
+
+use crate::dataset::Dataset;
+use crate::Regressor;
+
+/// A k-NN regressor (inverse-distance-weighted mean of the k nearest
+/// training targets, Euclidean distance over min-max-normalized features).
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    data: Dataset,
+    ranges: Vec<(f64, f64)>,
+}
+
+impl KnnRegressor {
+    /// Creates an unfitted regressor using `k` neighbors (at least 1).
+    pub fn new(k: usize) -> Self {
+        Self {
+            k: k.max(1),
+            data: Dataset::new(0),
+            ranges: Vec::new(),
+        }
+    }
+
+    /// Number of neighbors consulted per prediction.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn normalized_distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        let mut d = 0.0;
+        for (j, (&x, &y)) in a.iter().zip(b).enumerate() {
+            let (lo, hi) = self.ranges[j];
+            let span = hi - lo;
+            let diff = if span > 0.0 { (x - y) / span } else { 0.0 };
+            d += diff * diff;
+        }
+        d.sqrt()
+    }
+
+    /// Indices and distances of the `k` nearest training rows to `row`.
+    pub fn neighbors(&self, row: &[f64]) -> Vec<(usize, f64)> {
+        let mut dists: Vec<(usize, f64)> = (0..self.data.n_rows())
+            .map(|i| (i, self.normalized_distance(row, self.data.row(i))))
+            .collect();
+        dists.sort_by(|a, b| a.1.total_cmp(&b.1));
+        dists.truncate(self.k);
+        dists
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit k-NN to an empty dataset");
+        self.data = data.clone();
+        self.ranges = data.column_ranges();
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let nn = self.neighbors(row);
+        // Exact hit: return its target directly (avoids 1/0 weights).
+        if let Some(&(i, d)) = nn.first() {
+            if d == 0.0 {
+                return self.data.target(i);
+            }
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (i, d) in nn {
+            let w = 1.0 / d;
+            num += w * self.data.target(i);
+            den += w;
+        }
+        num / den
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![i as f64]);
+            ys.push(2.0 * i as f64);
+        }
+        Dataset::from_rows(&rows, &ys)
+    }
+
+    #[test]
+    fn exact_hit_returns_training_target() {
+        let mut model = KnnRegressor::new(3);
+        model.fit(&grid());
+        assert_eq!(model.predict_row(&[4.0]), 8.0);
+    }
+
+    #[test]
+    fn interpolates_between_neighbors() {
+        let mut model = KnnRegressor::new(2);
+        model.fit(&grid());
+        let p = model.predict_row(&[4.5]);
+        assert!((p - 9.0).abs() < 1e-9, "midpoint should average: {p}");
+    }
+
+    #[test]
+    fn k_larger_than_data_uses_all_rows() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![1.0]], &[0.0, 10.0]);
+        let mut model = KnnRegressor::new(50);
+        model.fit(&data);
+        let p = model.predict_row(&[0.25]);
+        assert!(p > 0.0 && p < 10.0);
+    }
+
+    #[test]
+    fn constant_feature_is_ignored_in_distance() {
+        let data = Dataset::from_rows(
+            &[vec![0.0, 7.0], vec![1.0, 7.0], vec![2.0, 7.0]],
+            &[0.0, 1.0, 2.0],
+        );
+        let mut model = KnnRegressor::new(1);
+        model.fit(&data);
+        // Constant column contributes zero distance even when the probe
+        // deviates wildly in it.
+        assert_eq!(model.predict_row(&[1.0, 1000.0]), 1.0);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_distance() {
+        let mut model = KnnRegressor::new(3);
+        model.fit(&grid());
+        let nn = model.neighbors(&[3.2]);
+        assert_eq!(nn[0].0, 3);
+        assert!(nn[0].1 <= nn[1].1 && nn[1].1 <= nn[2].1);
+    }
+
+    #[test]
+    fn k_is_clamped_to_one() {
+        assert_eq!(KnnRegressor::new(0).k(), 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Ridge regression via Cholesky-solved normal equations.
+//!
+//! Feature dimensionality in this workspace is tiny (≤ ~10 configuration
+//! parameters), so forming `XᵀX + αI` densely and factorizing it is both the
+//! simplest and the fastest approach. Used by the HyBoost ablation (paper
+//! §8.2) as the analytic-model error corrector's base learner and available
+//! as a cheap surrogate baseline.
+
+use crate::dataset::Dataset;
+use crate::Regressor;
+
+/// Ridge (L2-regularized least squares) regression with an intercept.
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    alpha: f64,
+    /// Learned weights; last entry is the intercept.
+    weights: Vec<f64>,
+}
+
+impl Ridge {
+    /// Creates an unfitted model with regularization strength `alpha >= 0`.
+    pub fn new(alpha: f64) -> Self {
+        Self {
+            alpha: alpha.max(0.0),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Learned coefficients (feature weights followed by the intercept).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` (dense, row-major)
+/// via Cholesky decomposition. Returns `None` if `A` is not SPD.
+fn cholesky_solve(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    // Lower-triangular factor L with A = L Lᵀ.
+    let mut l = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Back solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+impl Regressor for Ridge {
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "cannot fit ridge to an empty dataset");
+        let p = data.n_features() + 1; // + intercept column
+        let n = data.n_rows();
+        // Normal equations: (XᵀX + αI) w = Xᵀy, with the intercept column
+        // excluded from regularization.
+        let mut xtx = vec![0.0; p * p];
+        let mut xty = vec![0.0; p];
+        for i in 0..n {
+            let row = data.row(i);
+            let y = data.target(i);
+            for a in 0..p {
+                let xa = if a + 1 == p { 1.0 } else { row[a] };
+                xty[a] += xa * y;
+                for b in 0..p {
+                    let xb = if b + 1 == p { 1.0 } else { row[b] };
+                    xtx[a * p + b] += xa * xb;
+                }
+            }
+        }
+        for a in 0..p - 1 {
+            xtx[a * p + a] += self.alpha;
+        }
+        // Tiny jitter keeps the intercept-only diagonal positive for
+        // degenerate inputs (e.g. duplicated rows with alpha = 0).
+        let solved = cholesky_solve(&xtx, &xty, p).or_else(|| {
+            let mut jittered = xtx.clone();
+            for a in 0..p {
+                jittered[a * p + a] += 1e-8;
+            }
+            cholesky_solve(&jittered, &xty, p)
+        });
+        self.weights = solved.unwrap_or_else(|| vec![0.0; p]);
+        if self.weights.iter().all(|w| *w == 0.0) && !data.is_empty() {
+            // Last-resort fallback: intercept = mean.
+            self.weights[p - 1] = data.target_mean();
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        if self.weights.is_empty() {
+            return 0.0;
+        }
+        let p = self.weights.len();
+        let mut y = self.weights[p - 1];
+        for (w, x) in self.weights[..p - 1].iter().zip(row) {
+            y += w * x;
+        }
+        y
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_function() {
+        // y = 2x0 - 3x1 + 5
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let x0 = i as f64;
+            let x1 = (i * 7 % 13) as f64;
+            rows.push(vec![x0, x1]);
+            ys.push(2.0 * x0 - 3.0 * x1 + 5.0);
+        }
+        let data = Dataset::from_rows(&rows, &ys);
+        let mut model = Ridge::new(1e-9);
+        model.fit(&data);
+        assert!((model.weights()[0] - 2.0).abs() < 1e-6);
+        assert!((model.weights()[1] + 3.0).abs() < 1e-6);
+        assert!((model.weights()[2] - 5.0).abs() < 1e-5);
+        assert!((model.predict_row(&[10.0, 1.0]) - 22.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn alpha_shrinks_coefficients() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 4.0 * i as f64).collect();
+        let data = Dataset::from_rows(&rows, &ys);
+        let mut weak = Ridge::new(0.001);
+        let mut strong = Ridge::new(1000.0);
+        weak.fit(&data);
+        strong.fit(&data);
+        assert!(strong.weights()[0].abs() < weak.weights()[0].abs());
+    }
+
+    #[test]
+    fn constant_feature_degenerate_input_survives() {
+        let data = Dataset::from_rows(&[vec![1.0], vec![1.0], vec![1.0]], &[3.0, 5.0, 7.0]);
+        let mut model = Ridge::new(0.0);
+        model.fit(&data);
+        let p = model.predict_row(&[1.0]);
+        assert!(
+            (p - 5.0).abs() < 0.5,
+            "should predict near the mean, got {p}"
+        );
+    }
+
+    #[test]
+    fn cholesky_solves_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let x = cholesky_solve(&a, &[3.0, 4.0], 2).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![0.0, 0.0, 0.0, -1.0];
+        assert!(cholesky_solve(&a, &[1.0, 1.0], 2).is_none());
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let model = Ridge::new(1.0);
+        assert!(!model.is_fitted());
+        assert_eq!(model.predict_row(&[1.0]), 0.0);
+    }
+}

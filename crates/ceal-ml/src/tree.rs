@@ -1,0 +1,418 @@
+//! A regression tree grown with the XGBoost split criterion.
+//!
+//! The tree is fit to per-row first/second-order gradient statistics
+//! `(g_i, h_i)` rather than raw targets, which lets one implementation serve
+//! both gradient boosting (where `g = prediction - target`, `h = 1` for
+//! squared loss) and plain target fitting (`g = -target`, `h = 1`, giving
+//! mean-value leaves), as used by the random forest.
+//!
+//! Splits are found by exact greedy enumeration: each node sorts its rows by
+//! each candidate feature and scans prefix sums of `G`/`H`, scoring
+//!
+//! ```text
+//! gain = 1/2 * ( GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ) ) − γ
+//! ```
+//!
+//! Leaf weight is `−G/(H+λ)`. This matches Chen & Guestrin (KDD '16), the
+//! model the paper's tuner uses.
+
+use crate::dataset::Dataset;
+
+/// Hyperparameters controlling tree growth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0). Depth 0 yields a single leaf.
+    pub max_depth: usize,
+    /// Minimum sum of hessians required in each child.
+    pub min_child_weight: f64,
+    /// L2 regularization on leaf weights (XGBoost `lambda`).
+    pub lambda: f64,
+    /// Minimum loss reduction to accept a split (XGBoost `gamma`).
+    pub gamma: f64,
+    /// Minimum number of rows in each child.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 4,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_samples_leaf: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    /// `(feature, gain)` of every accepted split, for importance reports.
+    split_gains: Vec<(usize, f64)>,
+}
+
+struct Grower<'a> {
+    data: &'a Dataset,
+    grad: &'a [f64],
+    hess: &'a [f64],
+    features: &'a [usize],
+    params: TreeParams,
+    nodes: Vec<Node>,
+    split_gains: Vec<(usize, f64)>,
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+impl<'a> Grower<'a> {
+    fn leaf_weight(&self, g: f64, h: f64) -> f64 {
+        -g / (h + self.params.lambda)
+    }
+
+    fn score(&self, g: f64, h: f64) -> f64 {
+        g * g / (h + self.params.lambda)
+    }
+
+    /// Finds the best split for the rows in `rows`, or `None` when no split
+    /// satisfies the constraints with positive gain.
+    fn best_split(&self, rows: &[usize], scratch: &mut Vec<(f64, usize)>) -> Option<BestSplit> {
+        let total_g: f64 = rows.iter().map(|&i| self.grad[i]).sum();
+        let total_h: f64 = rows.iter().map(|&i| self.hess[i]).sum();
+        let parent_score = self.score(total_g, total_h);
+        let mut best: Option<BestSplit> = None;
+
+        for &f in self.features {
+            scratch.clear();
+            scratch.extend(rows.iter().map(|&i| (self.data.value(i, f), i)));
+            scratch.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for k in 0..scratch.len() - 1 {
+                let (v, i) = scratch[k];
+                gl += self.grad[i];
+                hl += self.hess[i];
+                let v_next = scratch[k + 1].0;
+                if v_next == v {
+                    continue; // no split point between equal values
+                }
+                let n_left = k + 1;
+                let n_right = scratch.len() - n_left;
+                if n_left < self.params.min_samples_leaf || n_right < self.params.min_samples_leaf {
+                    continue;
+                }
+                let gr = total_g - gl;
+                let hr = total_h - hl;
+                if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5 * (self.score(gl, hl) + self.score(gr, hr) - parent_score)
+                    - self.params.gamma;
+                if gain > 0.0 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(BestSplit {
+                        feature: f,
+                        threshold: 0.5 * (v + v_next),
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    fn grow(&mut self, rows: Vec<usize>, depth: usize, scratch: &mut Vec<(f64, usize)>) -> usize {
+        let g: f64 = rows.iter().map(|&i| self.grad[i]).sum();
+        let h: f64 = rows.iter().map(|&i| self.hess[i]).sum();
+
+        let split = if depth >= self.params.max_depth || rows.len() < 2 {
+            None
+        } else {
+            self.best_split(&rows, scratch)
+        };
+
+        match split {
+            None => {
+                self.nodes.push(Node::Leaf {
+                    weight: self.leaf_weight(g, h),
+                });
+                self.nodes.len() - 1
+            }
+            Some(s) => {
+                self.split_gains.push((s.feature, s.gain));
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+                    .into_iter()
+                    .partition(|&i| self.data.value(i, s.feature) <= s.threshold);
+                // Reserve this node's slot before growing children so child
+                // indices are stable.
+                let me = self.nodes.len();
+                self.nodes.push(Node::Leaf { weight: 0.0 });
+                let left = self.grow(left_rows, depth + 1, scratch);
+                let right = self.grow(right_rows, depth + 1, scratch);
+                self.nodes[me] = Node::Split {
+                    feature: s.feature,
+                    threshold: s.threshold,
+                    left,
+                    right,
+                };
+                me
+            }
+        }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree to gradient statistics over `rows` of `data`, considering
+    /// only the features in `features`.
+    ///
+    /// # Panics
+    /// Panics if `grad`/`hess` are shorter than the dataset, or `rows` is
+    /// empty.
+    pub fn fit_gradients(
+        data: &Dataset,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        features: &[usize],
+        params: TreeParams,
+    ) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a tree to zero rows");
+        assert!(grad.len() >= data.n_rows() && hess.len() >= data.n_rows());
+        let mut grower = Grower {
+            data,
+            grad,
+            hess,
+            features,
+            params,
+            nodes: Vec::new(),
+            split_gains: Vec::new(),
+        };
+        let mut scratch = Vec::with_capacity(rows.len());
+        grower.grow(rows.to_vec(), 0, &mut scratch);
+        Self {
+            nodes: grower.nodes,
+            split_gains: grower.split_gains,
+        }
+    }
+
+    /// Fits a plain mean-leaf regression tree directly to the targets
+    /// (used by the random forest): `g = -y`, `h = 1`, `lambda = 0`.
+    pub fn fit_targets(
+        data: &Dataset,
+        rows: &[usize],
+        features: &[usize],
+        params: TreeParams,
+    ) -> Self {
+        let grad: Vec<f64> = data.targets().iter().map(|y| -y).collect();
+        let hess = vec![1.0; data.n_rows()];
+        let params = TreeParams {
+            lambda: 0.0,
+            ..params
+        };
+        Self::fit_gradients(data, &grad, &hess, rows, features, params)
+    }
+
+    /// Predicts the leaf weight for a feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { weight } => return *weight,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    // NaN routes left, mirroring XGBoost's default direction.
+                    let v = row[*feature];
+                    i = if v <= *threshold || v.is_nan() {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
+    }
+
+    /// Total split gain attributed to each of `n_features` features.
+    pub fn feature_gains(&self, n_features: usize) -> Vec<f64> {
+        let mut gains = vec![0.0; n_features];
+        for &(f, g) in &self.split_gains {
+            if f < n_features {
+                gains[f] += g;
+            }
+        }
+        gains
+    }
+
+    /// Maximum depth of any leaf (root = 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize, d: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => d,
+                Node::Split { left, right, .. } => {
+                    walk(nodes, *left, d + 1).max(walk(nodes, *right, d + 1))
+                }
+            }
+        }
+        walk(&self.nodes, 0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        // y = 1 for x < 5, y = 9 for x >= 5.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| if i < 5 { 1.0 } else { 9.0 }).collect();
+        Dataset::from_rows(&rows, &ys)
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let data = step_data();
+        let rows: Vec<usize> = (0..10).collect();
+        let tree = RegressionTree::fit_targets(&data, &rows, &[0], TreeParams::default());
+        assert!((tree.predict_row(&[2.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict_row(&[8.0]) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_yields_mean_leaf() {
+        let data = step_data();
+        let rows: Vec<usize> = (0..10).collect();
+        let params = TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit_targets(&data, &rows, &[0], params);
+        assert_eq!(tree.n_leaves(), 1);
+        assert!((tree.predict_row(&[0.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let rows_v: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let data = Dataset::from_rows(&rows_v, &ys);
+        let rows: Vec<usize> = (0..64).collect();
+        let params = TreeParams {
+            max_depth: 3,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit_targets(&data, &rows, &[0], params);
+        assert!(tree.depth() <= 3, "depth {} exceeds cap", tree.depth());
+        assert!(tree.n_leaves() <= 8);
+    }
+
+    #[test]
+    fn min_samples_leaf_blocks_tiny_children() {
+        let data = step_data();
+        let rows: Vec<usize> = (0..10).collect();
+        let params = TreeParams {
+            min_samples_leaf: 6,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit_targets(&data, &rows, &[0], params);
+        // No split can give both children >= 6 of 10 rows.
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn gamma_prunes_weak_splits() {
+        let data = step_data();
+        let rows: Vec<usize> = (0..10).collect();
+        let params = TreeParams {
+            gamma: 1e9,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit_targets(&data, &rows, &[0], params);
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn lambda_shrinks_leaf_weights() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![1.0]], &[10.0, 10.0]);
+        let grad: Vec<f64> = data.targets().iter().map(|y| -y).collect();
+        let hess = vec![1.0; 2];
+        let params = TreeParams {
+            max_depth: 0,
+            lambda: 2.0,
+            ..Default::default()
+        };
+        let tree = RegressionTree::fit_gradients(&data, &grad, &hess, &[0, 1], &[0], params);
+        // weight = -G/(H+lambda) = 20/(2+2) = 5.
+        assert!((tree.predict_row(&[0.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ignores_features_outside_subset() {
+        // Feature 0 is informative, feature 1 is noise; restrict to 1.
+        let rows_v: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 0.0]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| if i < 5 { 1.0 } else { 9.0 }).collect();
+        let data = Dataset::from_rows(&rows_v, &ys);
+        let rows: Vec<usize> = (0..10).collect();
+        let tree = RegressionTree::fit_targets(&data, &rows, &[1], TreeParams::default());
+        // Constant feature -> no split possible.
+        assert_eq!(tree.n_leaves(), 1);
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        // y = 10*(x0 > 0.5) + (x1 > 0.5)
+        let mut rows_v = Vec::new();
+        let mut ys = Vec::new();
+        for a in 0..2 {
+            for b in 0..2 {
+                for _ in 0..5 {
+                    rows_v.push(vec![a as f64, b as f64]);
+                    ys.push(10.0 * a as f64 + b as f64);
+                }
+            }
+        }
+        let data = Dataset::from_rows(&rows_v, &ys);
+        let rows: Vec<usize> = (0..data.n_rows()).collect();
+        let tree = RegressionTree::fit_targets(&data, &rows, &[0, 1], TreeParams::default());
+        for (row, want) in [
+            (vec![0.0, 0.0], 0.0),
+            (vec![0.0, 1.0], 1.0),
+            (vec![1.0, 0.0], 10.0),
+            (vec![1.0, 1.0], 11.0),
+        ] {
+            assert!((tree.predict_row(&row) - want).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,668 @@
+//! The coupled-workflow discrete-event engine.
+//!
+//! Components execute concurrently as small state machines; data moves over
+//! streaming edges as *fluid* transfers whose rates share the fabric
+//! bandwidth processor-sharing style. Staging buffers are bounded: bytes
+//! occupy the buffer from emission until the consumer reads them, so a slow
+//! consumer back-pressures its producer — the run-time synchronization that
+//! makes in-situ workflows hard to model analytically (paper §2.3).
+//!
+//! Semantics per component:
+//!
+//! * **Source** — loop `steps` times: compute one step; every
+//!   `emit_interval` steps, package an emission (chunking overhead
+//!   proportional to `emit_bytes / buffer`), then publish it to every
+//!   out-edge once all of them have buffer space.
+//! * **Transform** — for each input emission: wait for it, compute, package
+//!   and publish one output emission.
+//! * **Sink** — for each input emission: wait for it, compute.
+//!
+//! The engine advances to the earliest of: a compute completion or a
+//! transfer completion at current rates; completions cascade (a freed
+//! buffer may immediately unblock a producer, delivered data may start a
+//! consumer) until the state is quiescent, then time advances again.
+
+use crate::noise::noise_factor;
+use crate::platform::Platform;
+use crate::result::{ComponentStats, RunResult};
+use crate::spec::{Resolved, Role, WorkflowSpec};
+use std::collections::VecDeque;
+
+/// Why a simulation could not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Configuration values are off-grid or have the wrong arity.
+    InvalidConfig,
+    /// The configuration needs more nodes than the allocation allows.
+    Infeasible {
+        /// Nodes the configuration would occupy.
+        needed_nodes: u64,
+        /// The workflow's allocation cap.
+        max_nodes: u64,
+    },
+    /// The DAG shape is not supported (fan-in, source with inputs, …).
+    UnsupportedTopology(String),
+    /// The pipeline stopped making progress (should be impossible when
+    /// buffer capacities fit at least one emission; kept as a guard).
+    Deadlock {
+        /// Simulated time at which progress stopped.
+        time: f64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidConfig => write!(f, "configuration is off-grid or mis-sized"),
+            SimError::Infeasible {
+                needed_nodes,
+                max_nodes,
+            } => {
+                write!(
+                    f,
+                    "needs {needed_nodes} nodes but allocation allows {max_nodes}"
+                )
+            }
+            SimError::UnsupportedTopology(msg) => write!(f, "unsupported topology: {msg}"),
+            SimError::Deadlock { time } => write!(f, "pipeline deadlocked at t={time}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+const EPS: f64 = 1e-9;
+/// Transfers with less than this many bytes remaining are complete.
+const EPS_BYTES: f64 = 0.5;
+/// Hard cap on engine iterations; a healthy run needs ~(steps × comps).
+const MAX_ITERS: u64 = 50_000_000;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum After {
+    Step,
+    Emit,
+    Consume,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Decide,
+    Computing { until: f64, then: After },
+    WaitingData { since: f64 },
+    WaitingSpace { since: f64 },
+    Done,
+}
+
+struct Comp {
+    resolved: Resolved,
+    phase: Phase,
+    steps_done: u64,
+    consumed: u64,
+    expected_in: u64,
+    emissions_done: u64,
+    in_edge: Option<usize>,
+    out_edges: Vec<usize>,
+    /// Seconds of compute per step after noise.
+    step_time: f64,
+    /// Producer-side packaging cost per emission.
+    emit_cost: f64,
+    busy: f64,
+    blocked_space: f64,
+    blocked_data: f64,
+    end: f64,
+}
+
+struct EdgeState {
+    capacity: u64,
+    /// Bytes resident in the staging buffer: emitted but not yet consumed.
+    buffered: u64,
+    emit_bytes: u64,
+    /// Consumer-side per-emission unpack cost (depends on the *producer's*
+    /// chunking — a coupling the consumer's solo model cannot see).
+    unpack_cost: f64,
+    delivered: VecDeque<u64>,
+}
+
+struct Transfer {
+    edge: usize,
+    bytes: u64,
+    remaining: f64,
+}
+
+/// Per-emission packaging cost: one [`Platform::chunk_overhead`] per staging
+/// chunk, where the chunk size is the configured buffer (or the emission
+/// itself when unbuffered).
+pub(crate) fn emit_cost(platform: &Platform, emit_bytes: u64, buffer: Option<u64>) -> f64 {
+    if emit_bytes == 0 {
+        return 0.0;
+    }
+    let chunk = buffer.unwrap_or(emit_bytes).max(1);
+    let chunks = emit_bytes.div_ceil(chunk);
+    chunks as f64 * platform.chunk_overhead
+}
+
+/// Coupled-run compute slowdown factor for a component: the denser a node
+/// is packed, the more the staging transport's progress engine competes
+/// with application threads for cores and memory bandwidth. Grows cubically
+/// with packing density and saturates at `1 + staging_interference` when
+/// every core is busy.
+pub(crate) fn interference_factor(platform: &Platform, r: &Resolved) -> f64 {
+    let busy = (r.ppn.min(r.procs).max(1) * r.threads.max(1)) as f64;
+    let density = (busy / platform.cores_per_node as f64).min(1.0);
+    1.0 + platform.staging_interference * density.powi(3)
+}
+
+/// Staging capacity of an edge: the configured buffer, but never less than
+/// one emission (ADIOS-style transports always fit the current step), and
+/// double-buffered by default.
+fn edge_capacity(emit_bytes: u64, buffer: Option<u64>) -> u64 {
+    match buffer {
+        Some(b) => b.max(emit_bytes),
+        None => 2 * emit_bytes.max(1),
+    }
+}
+
+/// Validates topology and computes each component's expected input count.
+fn expected_inputs(spec: &WorkflowSpec, resolved: &[Resolved]) -> Result<Vec<u64>, SimError> {
+    let n = spec.components.len();
+    let in_edges = spec.in_edges();
+    let mut emissions_out: Vec<Option<u64>> = vec![None; n];
+    let mut expected: Vec<u64> = vec![0; n];
+
+    for i in 0..n {
+        match resolved[i].role {
+            Role::Source { .. } => {
+                if !in_edges[i].is_empty() {
+                    return Err(SimError::UnsupportedTopology(format!(
+                        "source {} has inputs",
+                        spec.components[i].name()
+                    )));
+                }
+                emissions_out[i] = Some(resolved[i].source_emissions());
+            }
+            Role::Transform | Role::Sink => {
+                if in_edges[i].len() != 1 {
+                    return Err(SimError::UnsupportedTopology(format!(
+                        "component {} must have exactly one input edge",
+                        spec.components[i].name()
+                    )));
+                }
+            }
+        }
+    }
+
+    // Propagate emission counts down the DAG (n passes suffice).
+    for _ in 0..n {
+        for &(from, to) in &spec.edges {
+            if let Some(e) = emissions_out[from] {
+                expected[to] = e;
+                if matches!(resolved[to].role, Role::Transform) {
+                    emissions_out[to] = Some(e);
+                }
+            }
+        }
+    }
+    for i in 0..n {
+        if matches!(resolved[i].role, Role::Transform) && emissions_out[i].is_none() {
+            return Err(SimError::UnsupportedTopology(format!(
+                "could not resolve emission count for transform {}",
+                spec.components[i].name()
+            )));
+        }
+    }
+    Ok(expected)
+}
+
+/// Runs the coupled workflow; see module docs for the semantics.
+pub fn simulate(
+    platform: &Platform,
+    spec: &WorkflowSpec,
+    config: &[i64],
+    seed: u64,
+    noise_sigma: f64,
+) -> Result<RunResult, SimError> {
+    if !spec.valid(config) {
+        return Err(SimError::InvalidConfig);
+    }
+    let resolved = spec.resolve_all(platform, config);
+    let total_nodes: u64 = resolved.iter().map(Resolved::nodes).sum();
+    if total_nodes > spec.max_nodes {
+        return Err(SimError::Infeasible {
+            needed_nodes: total_nodes,
+            max_nodes: spec.max_nodes,
+        });
+    }
+
+    let expected = expected_inputs(spec, &resolved)?;
+    let out_edges = spec.out_edges();
+    let in_edges = spec.in_edges();
+
+    let mut edges: Vec<EdgeState> = spec
+        .edges
+        .iter()
+        .map(|&(from, _)| {
+            let r = &resolved[from];
+            EdgeState {
+                capacity: edge_capacity(r.emit_bytes, r.staging_buffer),
+                buffered: 0,
+                emit_bytes: r.emit_bytes,
+                unpack_cost: emit_cost(platform, r.emit_bytes, r.staging_buffer),
+                delivered: VecDeque::new(),
+            }
+        })
+        .collect();
+
+    let mut comps: Vec<Comp> = resolved
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let factor = noise_factor(seed, i as u64, noise_sigma);
+            let interference = interference_factor(platform, &r);
+            let ec = emit_cost(platform, r.emit_bytes, r.staging_buffer);
+            Comp {
+                step_time: r.compute_per_step * factor * interference,
+                emit_cost: ec,
+                phase: Phase::Decide,
+                steps_done: 0,
+                consumed: 0,
+                expected_in: expected[i],
+                emissions_done: 0,
+                in_edge: in_edges[i].first().copied(),
+                out_edges: out_edges[i].clone(),
+                busy: 0.0,
+                blocked_space: 0.0,
+                blocked_data: 0.0,
+                end: 0.0,
+                resolved: r,
+            }
+        })
+        .collect();
+
+    let mut transfers: Vec<Transfer> = Vec::new();
+    let mut now = 0.0f64;
+
+    // Attempts the pending emission of component `i`; true on success.
+    fn try_emit(
+        i: usize,
+        now: f64,
+        comps: &mut [Comp],
+        edges: &mut [EdgeState],
+        transfers: &mut Vec<Transfer>,
+    ) -> bool {
+        let ok = comps[i]
+            .out_edges
+            .iter()
+            .all(|&e| edges[e].buffered + edges[e].emit_bytes <= edges[e].capacity);
+        if !ok {
+            return false;
+        }
+        for &e in &comps[i].out_edges {
+            let bytes = edges[e].emit_bytes;
+            edges[e].buffered += bytes;
+            if bytes == 0 {
+                // Zero-byte streams deliver instantly (control-only edges).
+                edges[e].delivered.push_back(0);
+            } else {
+                transfers.push(Transfer {
+                    edge: e,
+                    bytes,
+                    remaining: bytes as f64,
+                });
+            }
+        }
+        comps[i].emissions_done += 1;
+        let _ = now;
+        true
+    }
+
+    // Cascade state transitions at the current instant until quiescent.
+    #[allow(clippy::collapsible_match)] // try_emit has side effects; a match guard would hide them
+    fn cascade(
+        now: f64,
+        comps: &mut [Comp],
+        edges: &mut [EdgeState],
+        transfers: &mut Vec<Transfer>,
+    ) {
+        loop {
+            let mut progressed = false;
+            for i in 0..comps.len() {
+                match comps[i].phase {
+                    Phase::Decide => {
+                        progressed = true;
+                        match comps[i].resolved.role {
+                            Role::Source { steps, .. } => {
+                                if comps[i].steps_done < steps {
+                                    let dt = comps[i].step_time;
+                                    comps[i].busy += dt;
+                                    comps[i].phase = Phase::Computing {
+                                        until: now + dt,
+                                        then: After::Step,
+                                    };
+                                } else {
+                                    comps[i].end = now;
+                                    comps[i].phase = Phase::Done;
+                                }
+                            }
+                            Role::Transform | Role::Sink => {
+                                if comps[i].consumed >= comps[i].expected_in {
+                                    comps[i].end = now;
+                                    comps[i].phase = Phase::Done;
+                                } else {
+                                    let e = comps[i].in_edge.expect("consumer has an input");
+                                    if let Some(bytes) = edges[e].delivered.pop_front() {
+                                        edges[e].buffered = edges[e].buffered.saturating_sub(bytes);
+                                        let dt = comps[i].step_time + edges[e].unpack_cost;
+                                        comps[i].busy += dt;
+                                        comps[i].phase = Phase::Computing {
+                                            until: now + dt,
+                                            then: After::Consume,
+                                        };
+                                    } else {
+                                        comps[i].phase = Phase::WaitingData { since: now };
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Phase::WaitingData { since } => {
+                        let e = comps[i].in_edge.expect("consumer has an input");
+                        if !edges[e].delivered.is_empty() {
+                            comps[i].blocked_data += now - since;
+                            comps[i].phase = Phase::Decide;
+                            progressed = true;
+                        }
+                    }
+                    Phase::WaitingSpace { since } => {
+                        if try_emit(i, now, comps, edges, transfers) {
+                            comps[i].blocked_space += now - since;
+                            comps[i].phase = Phase::Decide;
+                            progressed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    cascade(now, &mut comps, &mut edges, &mut transfers);
+
+    let mut iters: u64 = 0;
+    loop {
+        if comps.iter().all(|c| matches!(c.phase, Phase::Done)) {
+            break;
+        }
+        iters += 1;
+        if iters > MAX_ITERS {
+            return Err(SimError::Deadlock { time: now });
+        }
+
+        // Next compute completion.
+        let mut t_next = f64::INFINITY;
+        for c in &comps {
+            if let Phase::Computing { until, .. } = c.phase {
+                t_next = t_next.min(until);
+            }
+        }
+        // Next transfer completion at the current processor-sharing rate.
+        let rate = if transfers.is_empty() {
+            0.0
+        } else {
+            platform
+                .link_bandwidth
+                .min(platform.fabric_bandwidth / transfers.len() as f64)
+        };
+        if rate > 0.0 {
+            for t in &transfers {
+                t_next = t_next.min(now + t.remaining / rate);
+            }
+        }
+        if !t_next.is_finite() {
+            return Err(SimError::Deadlock { time: now });
+        }
+
+        let dt = (t_next - now).max(0.0);
+        now = t_next;
+
+        // Drain transfers and collect completions.
+        if rate > 0.0 && dt > 0.0 {
+            for t in transfers.iter_mut() {
+                t.remaining -= rate * dt;
+            }
+        }
+        let mut k = 0;
+        while k < transfers.len() {
+            if transfers[k].remaining <= EPS_BYTES {
+                let t = transfers.swap_remove(k);
+                edges[t.edge].delivered.push_back(t.bytes);
+            } else {
+                k += 1;
+            }
+        }
+
+        // Compute completions.
+        for c in comps.iter_mut() {
+            let Phase::Computing { until, then } = c.phase else {
+                continue;
+            };
+            if until > now + EPS {
+                continue;
+            }
+            match then {
+                After::Step => {
+                    c.steps_done += 1;
+                    let emit_now = match c.resolved.role {
+                        Role::Source { emit_interval, .. } => {
+                            c.resolved.emit_bytes > 0
+                                && c.steps_done.is_multiple_of(emit_interval.max(1))
+                        }
+                        _ => false,
+                    };
+                    if emit_now {
+                        let ec = c.emit_cost;
+                        c.busy += ec;
+                        c.phase = Phase::Computing {
+                            until: now + ec,
+                            then: After::Emit,
+                        };
+                    } else {
+                        c.phase = Phase::Decide;
+                    }
+                }
+                After::Emit => {
+                    c.phase = Phase::WaitingSpace { since: now };
+                }
+                After::Consume => {
+                    c.consumed += 1;
+                    if matches!(c.resolved.role, Role::Transform) {
+                        let ec = c.emit_cost;
+                        c.busy += ec;
+                        c.phase = Phase::Computing {
+                            until: now + ec,
+                            then: After::Emit,
+                        };
+                    } else {
+                        c.phase = Phase::Decide;
+                    }
+                }
+            }
+        }
+
+        cascade(now, &mut comps, &mut edges, &mut transfers);
+    }
+
+    let exec_time = comps.iter().map(|c| c.end).fold(0.0, f64::max);
+    let components = comps
+        .iter()
+        .zip(&spec.components)
+        .map(|(c, m)| ComponentStats {
+            name: m.name().to_string(),
+            end_time: c.end,
+            busy: c.busy,
+            blocked_on_space: c.blocked_space,
+            blocked_on_data: c.blocked_data,
+            emissions: c.emissions_done,
+            nodes: c.resolved.nodes(),
+        })
+        .collect();
+
+    Ok(RunResult {
+        exec_time,
+        computer_time: platform.core_hours(total_nodes, exec_time),
+        total_nodes,
+        components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::test_support::pipeline;
+
+    fn run(spec: &WorkflowSpec, config: &[i64]) -> RunResult {
+        simulate(&Platform::default(), spec, config, 0, 0.0).expect("simulation runs")
+    }
+
+    #[test]
+    fn producer_bound_pipeline_is_dominated_by_source() {
+        // Source: 100 steps × 1 s serial / 10 procs = 10 s busy; sink is
+        // nearly free. Exec time ≈ source busy + small overheads.
+        let spec = pipeline(100, 10, 1.0, 1 << 20, 0.001);
+        let r = run(&spec, &[10, 1]);
+        let src_busy = 100.0 * (1.0 / 10.0);
+        assert!(
+            r.exec_time >= src_busy,
+            "exec {} < src busy {src_busy}",
+            r.exec_time
+        );
+        assert!(
+            r.exec_time < src_busy * 1.2,
+            "too much overhead: {}",
+            r.exec_time
+        );
+        assert_eq!(r.components[0].emissions, 10);
+    }
+
+    #[test]
+    fn consumer_bound_pipeline_backpressures_source() {
+        // Sink takes 2 s per emission with 1 proc; source is fast.
+        let spec = pipeline(100, 10, 0.01, 1 << 20, 2.0);
+        let r = run(&spec, &[10, 1]);
+        // 10 emissions × 2 s analysis dominates.
+        assert!(r.exec_time >= 20.0, "exec {}", r.exec_time);
+        // The source must have spent time blocked on buffer space.
+        assert!(r.components[0].blocked_on_space > 0.0);
+    }
+
+    #[test]
+    fn sink_waits_for_data_in_producer_bound_run() {
+        let spec = pipeline(100, 10, 1.0, 1 << 20, 0.001);
+        let r = run(&spec, &[1, 1]);
+        assert!(r.components[1].blocked_on_data > 0.0);
+    }
+
+    #[test]
+    fn exec_time_is_max_component_end() {
+        let spec = pipeline(50, 5, 0.5, 1 << 18, 0.2);
+        let r = run(&spec, &[4, 2]);
+        let max_end = r.components.iter().map(|c| c.end_time).fold(0.0, f64::max);
+        assert_eq!(r.exec_time, max_end);
+    }
+
+    #[test]
+    fn computer_time_uses_disjoint_node_sum() {
+        let spec = pipeline(10, 5, 0.1, 1024, 0.01);
+        // 40 procs/36 ppn-cap in test source => ppn = min(procs,36).
+        let r = run(&spec, &[40, 2]);
+        assert_eq!(r.total_nodes, 2 + 1);
+        let expect = r.exec_time * (r.total_nodes * 36) as f64 / 3600.0;
+        assert!((r.computer_time - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = pipeline(60, 6, 0.3, 1 << 16, 0.05);
+        let p = Platform::default();
+        let a = simulate(&p, &spec, &[7, 3], 99, 0.05).unwrap();
+        let b = simulate(&p, &spec, &[7, 3], 99, 0.05).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_changes_results_across_seeds() {
+        let spec = pipeline(60, 6, 0.3, 1 << 16, 0.05);
+        let p = Platform::default();
+        let a = simulate(&p, &spec, &[7, 3], 1, 0.05).unwrap();
+        let b = simulate(&p, &spec, &[7, 3], 2, 0.05).unwrap();
+        assert_ne!(a.exec_time, b.exec_time);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let spec = pipeline(10, 2, 0.1, 1024, 0.01);
+        assert_eq!(
+            simulate(&Platform::default(), &spec, &[0, 1], 0, 0.0),
+            Err(SimError::InvalidConfig)
+        );
+    }
+
+    #[test]
+    fn infeasible_allocation_is_rejected() {
+        let mut spec = pipeline(10, 2, 0.1, 1024, 0.01);
+        spec.max_nodes = 1;
+        let err = simulate(&Platform::default(), &spec, &[64, 64], 0, 0.0).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Infeasible {
+                needed_nodes: 4,
+                max_nodes: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_emissions_terminates() {
+        // interval > steps => no emissions; sink expects zero and finishes.
+        let spec = pipeline(5, 10, 0.1, 1024, 0.01);
+        let r = run(&spec, &[1, 1]);
+        assert_eq!(r.components[0].emissions, 0);
+        assert!(r.exec_time > 0.0);
+    }
+
+    #[test]
+    fn emit_cost_counts_chunks() {
+        let p = Platform::default();
+        assert_eq!(emit_cost(&p, 0, None), 0.0);
+        assert!((emit_cost(&p, 100, None) - p.chunk_overhead).abs() < 1e-15);
+        // 10 MB emission through a 1 MB buffer = 10 chunks.
+        let c = emit_cost(&p, 10 << 20, Some(1 << 20));
+        assert!((c - 10.0 * p.chunk_overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_capacity_fits_one_emission() {
+        assert_eq!(edge_capacity(100, Some(10)), 100);
+        assert_eq!(edge_capacity(100, Some(500)), 500);
+        assert_eq!(edge_capacity(100, None), 200);
+    }
+
+    #[test]
+    fn transfer_contention_extends_runtime() {
+        // Two pipelines cannot be expressed in one spec here, but we can
+        // verify the rate law by comparing a large-emission pipeline against
+        // the no-network busy-time lower bound.
+        let spec = pipeline(10, 1, 0.0001, 2 << 30, 0.0001);
+        let r = run(&spec, &[1, 1]);
+        // 10 emissions × 2 GiB ≈ 21.5 GB; with double buffering two
+        // transfers run concurrently at fabric/2 = 10 GB/s each, so the
+        // aggregate drains at the 20 GB/s fabric limit ≈ 1.07 s minimum.
+        assert!(
+            r.exec_time > 1.0,
+            "transfers should dominate: {}",
+            r.exec_time
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic measurement noise.
+//!
+//! Real measurements vary run-to-run with interference (the paper notes
+//! practitioners average 3–5 repetitions, §9). The simulator models this as
+//! a multiplicative log-normal factor per component per run, derived
+//! deterministically from `(seed, component index)` so a given `(config,
+//! seed)` pair always reproduces the same measurement.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Draws a standard normal via Box–Muller from the given RNG.
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling in (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Multiplicative log-normal noise factor with log-space std `sigma`,
+/// deterministic in `(seed, stream)`. `sigma == 0` yields exactly 1.
+pub fn noise_factor(seed: u64, stream: u64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Mix the stream into the seed; ChaCha gives good avalanche behaviour.
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let z = standard_normal(&mut rng);
+    // E[factor] = 1 (subtract sigma²/2 in log space).
+    (sigma * z - 0.5 * sigma * sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_exactly_one() {
+        assert_eq!(noise_factor(1, 2, 0.0), 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed_stream() {
+        assert_eq!(noise_factor(7, 3, 0.05), noise_factor(7, 3, 0.05));
+        assert_ne!(noise_factor(7, 3, 0.05), noise_factor(7, 4, 0.05));
+        assert_ne!(noise_factor(7, 3, 0.05), noise_factor(8, 3, 0.05));
+    }
+
+    #[test]
+    fn factors_are_positive_and_near_one() {
+        for seed in 0..200 {
+            let f = noise_factor(seed, 0, 0.05);
+            assert!(f > 0.0);
+            assert!((0.7..1.4).contains(&f), "implausible factor {f}");
+        }
+    }
+
+    #[test]
+    fn mean_is_approximately_one() {
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|s| noise_factor(s, 1, 0.1)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+}

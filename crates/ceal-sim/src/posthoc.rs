@@ -1,0 +1,188 @@
+//! Post-hoc (file-based) workflow execution — the paper's Fig. 2a
+//! baseline.
+//!
+//! Instead of streaming, each component runs to completion and persists
+//! every emission to the parallel filesystem; downstream components then
+//! read those files back and run. Stages execute sequentially in
+//! topological order, which is exactly what in-situ coupling eliminates
+//! (Fig. 2b). The `motivation` experiment uses this to quantify the
+//! in-situ advantage on our workloads.
+
+use crate::engine::SimError;
+use crate::noise::noise_factor;
+use crate::platform::Platform;
+use crate::result::RunResult;
+use crate::spec::{Resolved, Role, WorkflowSpec};
+
+/// Simulates the post-hoc execution of `spec` under `config`.
+///
+/// Uses the same cost models and noise streams as the coupled engine, but:
+/// components run one after another; every inter-component emission is
+/// written to and read back from the filesystem at the platform's
+/// aggregate bandwidth (bounded by what the writer/reader process counts
+/// can drive); nodes are billed per stage rather than for the whole
+/// makespan (post-hoc stages release their allocation when done).
+pub fn simulate_posthoc(
+    platform: &Platform,
+    spec: &WorkflowSpec,
+    config: &[i64],
+    seed: u64,
+    noise_sigma: f64,
+) -> Result<RunResult, SimError> {
+    if !spec.valid(config) {
+        return Err(SimError::InvalidConfig);
+    }
+    let resolved = spec.resolve_all(platform, config);
+    // Post-hoc stages run sequentially, so only the widest stage must fit.
+    let widest = resolved.iter().map(Resolved::nodes).max().unwrap_or(0);
+    if widest > spec.max_nodes {
+        return Err(SimError::Infeasible {
+            needed_nodes: widest,
+            max_nodes: spec.max_nodes,
+        });
+    }
+
+    // Emission counts propagate exactly as in the coupled engine.
+    let in_edges = spec.in_edges();
+    let n = spec.components.len();
+    let mut out_count: Vec<u64> = resolved.iter().map(Resolved::source_emissions).collect();
+    let mut expected = vec![0u64; n];
+    for _ in 0..n {
+        for &(from, to) in &spec.edges {
+            expected[to] = out_count[from];
+            if matches!(resolved[to].role, Role::Transform) {
+                out_count[to] = out_count[from];
+            }
+        }
+    }
+    for (i, r) in resolved.iter().enumerate() {
+        if matches!(r.role, Role::Transform | Role::Sink) && in_edges[i].len() != 1 {
+            return Err(SimError::UnsupportedTopology(format!(
+                "component {} must have exactly one input edge",
+                spec.components[i].name()
+            )));
+        }
+    }
+
+    let fs_rate = |procs: u64| -> f64 {
+        platform
+            .fs_bandwidth
+            .min(procs as f64 * platform.fs_per_proc_bandwidth)
+    };
+
+    let mut exec_time = 0.0;
+    let mut computer_time = 0.0;
+    let mut components = Vec::with_capacity(n);
+    for (i, r) in resolved.iter().enumerate() {
+        let factor = noise_factor(seed, i as u64, noise_sigma);
+        let step = r.compute_per_step * factor; // no coupled-run interference
+        let (busy, emissions) = match r.role {
+            Role::Source { steps, .. } => {
+                let e = r.source_emissions();
+                (steps as f64 * step, e)
+            }
+            Role::Transform => (expected[i] as f64 * step, expected[i]),
+            Role::Sink => (expected[i] as f64 * step, 0),
+        };
+        // Read inputs back from the filesystem.
+        let read: f64 = in_edges[i]
+            .iter()
+            .map(|&e| {
+                let p = &resolved[spec.edges[e].0];
+                let bytes = expected[i] * p.emit_bytes;
+                expected[i] as f64 * platform.fs_open_overhead + bytes as f64 / fs_rate(r.procs)
+            })
+            .sum();
+        // Persist own emissions for downstream consumers.
+        let has_consumers = spec.edges.iter().any(|&(from, _)| from == i);
+        let write = if has_consumers && emissions > 0 {
+            emissions as f64 * platform.fs_open_overhead
+                + (emissions * r.emit_bytes) as f64 / fs_rate(r.procs)
+        } else {
+            0.0
+        };
+        let stage = busy + read + write;
+        exec_time += stage;
+        computer_time += platform.core_hours(r.nodes(), stage);
+        components.push(crate::result::ComponentStats {
+            name: spec.components[i].name().to_string(),
+            end_time: exec_time,
+            busy,
+            blocked_on_space: 0.0,
+            blocked_on_data: 0.0,
+            emissions,
+            nodes: r.nodes(),
+        });
+    }
+
+    Ok(RunResult {
+        exec_time,
+        computer_time,
+        total_nodes: widest,
+        components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::test_support::pipeline;
+    use crate::Simulator;
+
+    #[test]
+    fn posthoc_is_sum_of_stages() {
+        let spec = pipeline(100, 10, 1.0, 32 << 20, 0.5);
+        let platform = Platform::default();
+        let r = simulate_posthoc(&platform, &spec, &[10, 5], 0, 0.0).unwrap();
+        // Producer: 100 × 0.1 s busy + 10 × 32 MiB writes; consumer reads
+        // the same bytes back and runs 10 × 0.1 s.
+        assert!(
+            r.exec_time > 10.0 + 1.0,
+            "stages must serialize: {}",
+            r.exec_time
+        );
+        assert_eq!(r.components.len(), 2);
+        assert!(r.components[1].end_time >= r.components[0].end_time);
+    }
+
+    #[test]
+    fn insitu_beats_posthoc_on_execution_time() {
+        // Balanced pipeline with sizable data: streaming overlaps compute
+        // and skips the filesystem round-trip.
+        let spec = pipeline(100, 5, 1.0, 64 << 20, 1.0);
+        let platform = Platform::default();
+        let coupled = Simulator::noiseless().run(&spec, &[10, 10], 0).unwrap();
+        let posthoc = simulate_posthoc(&platform, &spec, &[10, 10], 0, 0.0).unwrap();
+        assert!(
+            coupled.exec_time < posthoc.exec_time,
+            "in-situ {} should beat post-hoc {}",
+            coupled.exec_time,
+            posthoc.exec_time
+        );
+    }
+
+    #[test]
+    fn posthoc_allocation_is_the_widest_stage() {
+        let spec = pipeline(10, 2, 0.1, 1024, 0.1);
+        let platform = Platform::default();
+        // 64 procs → 2 nodes for the source; sink is 1 node.
+        let r = simulate_posthoc(&platform, &spec, &[64, 2], 0, 0.0).unwrap();
+        assert_eq!(r.total_nodes, 2);
+    }
+
+    #[test]
+    fn posthoc_rejects_invalid_configs() {
+        let spec = pipeline(10, 2, 0.1, 1024, 0.1);
+        let platform = Platform::default();
+        assert!(simulate_posthoc(&platform, &spec, &[0, 1], 0, 0.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_with_noise() {
+        let spec = pipeline(10, 2, 0.1, 1 << 20, 0.1);
+        let platform = Platform::default();
+        let a = simulate_posthoc(&platform, &spec, &[4, 4], 3, 0.05).unwrap();
+        let b = simulate_posthoc(&platform, &spec, &[4, 4], 3, 0.05).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,207 @@
+//! Results of simulated runs.
+
+/// Per-component accounting from a coupled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentStats {
+    /// Component name.
+    pub name: String,
+    /// Wall-clock time at which the component finished (start = 0).
+    pub end_time: f64,
+    /// Time spent computing (including emission packaging overhead).
+    pub busy: f64,
+    /// Time blocked waiting for staging-buffer space (back-pressure).
+    pub blocked_on_space: f64,
+    /// Time blocked waiting for input data.
+    pub blocked_on_data: f64,
+    /// Emissions produced.
+    pub emissions: u64,
+    /// Nodes occupied.
+    pub nodes: u64,
+}
+
+/// Result of a coupled in-situ workflow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// End-to-end wall-clock time: the longest component execution time
+    /// (paper §7.1).
+    pub exec_time: f64,
+    /// Core-hours consumed: `exec_time × total_nodes × cores_per_node`.
+    pub computer_time: f64,
+    /// Nodes occupied by the whole workflow.
+    pub total_nodes: u64,
+    /// Per-component breakdown.
+    pub components: Vec<ComponentStats>,
+}
+
+impl RunResult {
+    /// The value of the given optimization objective.
+    pub fn objective(&self, obj: Objective) -> f64 {
+        match obj {
+            Objective::ExecutionTime => self.exec_time,
+            Objective::ComputerTime => self.computer_time,
+        }
+    }
+
+    /// Renders a fixed-width utilization breakdown per component:
+    /// `#` computing, `s` blocked on staging space (back-pressure), `d`
+    /// blocked waiting for data, `.` other (start-up skew, network waits).
+    ///
+    /// ```text
+    /// lammps  23n |##########################ssss....| 76% busy
+    /// voro     6n |ddddddddd#########################| 72% busy
+    /// ```
+    pub fn render_utilization(&self, width: usize) -> String {
+        let width = width.max(10);
+        let name_w = self
+            .components
+            .iter()
+            .map(|c| c.name.len())
+            .max()
+            .unwrap_or(4);
+        let mut out = String::new();
+        for c in &self.components {
+            let end = c.end_time.max(1e-12);
+            let cells = |t: f64| ((t / end) * width as f64).round() as usize;
+            let busy = cells(c.busy).min(width);
+            let space = cells(c.blocked_on_space).min(width - busy);
+            let data = cells(c.blocked_on_data).min(width - busy - space);
+            let rest = width - busy - space - data;
+            out.push_str(&format!(
+                "{:name_w$} {:>4}n |{}{}{}{}| {:>3.0}% busy\n",
+                c.name,
+                c.nodes,
+                "#".repeat(busy),
+                "s".repeat(space),
+                "d".repeat(data),
+                ".".repeat(rest),
+                c.busy / end * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+/// Result of a standalone (solo) component run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoloResult {
+    /// Component name.
+    pub name: String,
+    /// Wall-clock time of the solo run.
+    pub exec_time: f64,
+    /// Core-hours consumed by the solo run.
+    pub computer_time: f64,
+    /// Nodes occupied.
+    pub nodes: u64,
+}
+
+impl SoloResult {
+    /// The value of the given optimization objective.
+    pub fn objective(&self, obj: Objective) -> f64 {
+        match obj {
+            Objective::ExecutionTime => self.exec_time,
+            Objective::ComputerTime => self.computer_time,
+        }
+    }
+}
+
+/// The two optimization objectives studied in the paper (§7.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Wall-clock execution time — best when tuning a single workflow.
+    ExecutionTime,
+    /// Core-hours — best when many workflows share the machine.
+    ComputerTime,
+}
+
+impl Objective {
+    /// Short label used in reports ("exec" / "comp").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Objective::ExecutionTime => "exec",
+            Objective::ComputerTime => "comp",
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Objective::ExecutionTime => write!(f, "execution time"),
+            Objective::ComputerTime => write!(f, "computer time"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_selects_field() {
+        let r = RunResult {
+            exec_time: 10.0,
+            computer_time: 2.0,
+            total_nodes: 3,
+            components: vec![],
+        };
+        assert_eq!(r.objective(Objective::ExecutionTime), 10.0);
+        assert_eq!(r.objective(Objective::ComputerTime), 2.0);
+    }
+
+    #[test]
+    fn utilization_rendering_is_proportional() {
+        let r = RunResult {
+            exec_time: 10.0,
+            computer_time: 1.0,
+            total_nodes: 3,
+            components: vec![
+                ComponentStats {
+                    name: "prod".into(),
+                    end_time: 10.0,
+                    busy: 5.0,
+                    blocked_on_space: 5.0,
+                    blocked_on_data: 0.0,
+                    emissions: 4,
+                    nodes: 2,
+                },
+                ComponentStats {
+                    name: "cons".into(),
+                    end_time: 10.0,
+                    busy: 2.5,
+                    blocked_on_space: 0.0,
+                    blocked_on_data: 7.5,
+                    emissions: 0,
+                    nodes: 1,
+                },
+            ],
+        };
+        let text = r.render_utilization(20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Count inside the |…| bar (the trailing "busy" label contains 's').
+        let bar = |line: &str| line.split('|').nth(1).unwrap().to_string();
+        assert_eq!(bar(lines[0]).matches('#').count(), 10); // 50% of 20
+        assert_eq!(bar(lines[0]).matches('s').count(), 10);
+        assert_eq!(bar(lines[1]).matches('#').count(), 5); // 25% of 20
+        assert_eq!(bar(lines[1]).matches('d').count(), 15);
+        assert!(lines[0].contains("50% busy"));
+    }
+
+    #[test]
+    fn utilization_handles_empty_and_tiny() {
+        let r = RunResult {
+            exec_time: 0.0,
+            computer_time: 0.0,
+            total_nodes: 0,
+            components: vec![],
+        };
+        assert_eq!(r.render_utilization(5), "");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Objective::ExecutionTime.label(), "exec");
+        assert_eq!(Objective::ComputerTime.label(), "comp");
+        assert_eq!(Objective::ComputerTime.to_string(), "computer time");
+    }
+}

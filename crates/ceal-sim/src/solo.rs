@@ -1,0 +1,129 @@
+//! Standalone (solo) component runs.
+//!
+//! Solo runs are what the paper's component models are trained on: each
+//! application executed by itself, with its streaming output drained by an
+//! unconstrained sink (writes never block, the network is uncontended) and
+//! its input — for analysis components — available immediately. The solo
+//! time is therefore a *systematically optimistic* estimate of the
+//! component's behaviour inside the coupled workflow; that gap is the
+//! low-fidelity model error CEAL's bootstrapping is designed around.
+
+use crate::engine::SimError;
+use crate::noise::noise_factor;
+use crate::platform::Platform;
+use crate::result::SoloResult;
+use crate::spec::{Role, WorkflowSpec};
+
+/// Simulates component `comp_idx` of `spec` standalone under `values`.
+pub fn simulate_solo(
+    platform: &Platform,
+    spec: &WorkflowSpec,
+    comp_idx: usize,
+    values: &[i64],
+    seed: u64,
+    noise_sigma: f64,
+) -> Result<SoloResult, SimError> {
+    let comp = spec
+        .components
+        .get(comp_idx)
+        .ok_or(SimError::InvalidConfig)?;
+    if !crate::config::values_valid(comp.params(), values) {
+        return Err(SimError::InvalidConfig);
+    }
+    let r = comp.resolve(platform, values);
+    let nodes = r.nodes();
+    if nodes > spec.max_nodes {
+        return Err(SimError::Infeasible {
+            needed_nodes: nodes,
+            max_nodes: spec.max_nodes,
+        });
+    }
+    // Use a distinct noise stream from coupled runs of the same seed.
+    let factor = noise_factor(seed, 0x5010_0000 + comp_idx as u64, noise_sigma);
+    let step = r.compute_per_step * factor;
+
+    let exec_time = match r.role {
+        Role::Source {
+            steps,
+            emit_interval,
+        } => {
+            let emissions = steps / emit_interval.max(1);
+            let emit = super::engine_emit_cost(platform, r.emit_bytes, r.staging_buffer);
+            steps as f64 * step + emissions as f64 * emit
+        }
+        Role::Transform => {
+            let emit = super::engine_emit_cost(platform, r.emit_bytes, r.staging_buffer);
+            r.solo_steps as f64 * (step + emit)
+        }
+        Role::Sink => r.solo_steps as f64 * step,
+    };
+
+    Ok(SoloResult {
+        name: comp.name().to_string(),
+        exec_time,
+        computer_time: platform.core_hours(nodes, exec_time),
+        nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::spec::test_support::pipeline;
+    use crate::Simulator;
+
+    #[test]
+    fn solo_source_time_is_steps_plus_emissions() {
+        let spec = pipeline(100, 10, 1.0, 1 << 20, 0.5);
+        let sim = Simulator::noiseless();
+        let r = sim.run_solo(&spec, 0, &[10], 0).unwrap();
+        let expect = 100.0 * 0.1 + 10.0 * sim.platform.chunk_overhead;
+        assert!(
+            (r.exec_time - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            r.exec_time
+        );
+    }
+
+    #[test]
+    fn solo_sink_time_is_emissions_times_analysis() {
+        let spec = pipeline(100, 10, 1.0, 1 << 20, 0.5);
+        let sim = Simulator::noiseless();
+        let r = sim.run_solo(&spec, 1, &[5], 0).unwrap();
+        assert!((r.exec_time - 10.0 * 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solo_is_optimistic_versus_coupled() {
+        // Consumer-bound pipeline: the coupled source is back-pressured, so
+        // its coupled end-to-end time exceeds its solo time.
+        let spec = pipeline(100, 10, 0.01, 1 << 20, 2.0);
+        let sim = Simulator::noiseless();
+        let coupled = sim.run(&spec, &[10, 1], 0).unwrap();
+        let solo_src = sim.run_solo(&spec, 0, &[10], 0).unwrap();
+        assert!(
+            coupled.components[0].end_time > solo_src.exec_time * 2.0,
+            "coupled {} should far exceed solo {}",
+            coupled.components[0].end_time,
+            solo_src.exec_time
+        );
+    }
+
+    #[test]
+    fn solo_rejects_bad_component_and_values() {
+        let spec = pipeline(10, 2, 0.1, 1024, 0.1);
+        let sim = Simulator::noiseless();
+        assert!(sim.run_solo(&spec, 5, &[1], 0).is_err());
+        assert!(sim.run_solo(&spec, 0, &[0], 0).is_err());
+    }
+
+    #[test]
+    fn solo_computer_time_uses_own_nodes_only() {
+        let spec = pipeline(10, 2, 0.1, 1024, 0.1);
+        let sim = Simulator::noiseless();
+        let r = sim.run_solo(&spec, 0, &[40], 0).unwrap();
+        assert_eq!(r.nodes, 2);
+        let expect = r.exec_time * (2 * 36) as f64 / 3600.0;
+        assert!((r.computer_time - expect).abs() < 1e-15);
+    }
+}

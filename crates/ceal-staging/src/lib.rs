@@ -1,0 +1,26 @@
+//! In-process streaming coupling library — the ADIOS stand-in.
+//!
+//! The paper's workflows couple components through a staging I/O library
+//! (ADIOS): the producer publishes named variables step by step into a
+//! bounded staging buffer; the consumer reads whole steps; when the buffer
+//! is full the producer blocks (back-pressure). This crate implements that
+//! contract for in-process workflows where components are threads:
+//!
+//! * [`Variable`] — named, typed, shaped data blocks ([`var`]).
+//! * [`channel`] — a bounded step stream with writer/reader endpoints,
+//!   byte- and step-capacity back-pressure, and blocking statistics
+//!   ([`stream`]).
+//! * [`Workflow`] — a small runner wiring component closures into a DAG of
+//!   streams and joining them ([`runner`]).
+//!
+//! The `examples/insitu_stream.rs` and `examples/md_tessellation.rs` binaries
+//! run real kernels (`ceal-apps::kernels`) through this library, exercising
+//! the exact coupling semantics the simulator models at cluster scale.
+
+pub mod runner;
+pub mod stream;
+pub mod var;
+
+pub use runner::Workflow;
+pub use stream::{channel, Reader, RecvError, StepData, StreamStats, Writer};
+pub use var::{Dtype, Variable};

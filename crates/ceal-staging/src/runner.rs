@@ -1,0 +1,137 @@
+//! A small in-process workflow runner.
+//!
+//! Wires component closures into a DAG of streams and runs each component
+//! on its own thread — the laptop-scale analogue of launching all workflow
+//! components at once on disjoint node sets (paper §7.1). Components
+//! communicate only through the bounded streams, so the same back-pressure
+//! dynamics the simulator models arise for real here.
+
+use crate::stream::{channel, Reader, Writer};
+use std::thread::JoinHandle;
+
+/// A workflow under construction / in flight.
+#[derive(Default)]
+pub struct Workflow {
+    handles: Vec<(String, JoinHandle<()>)>,
+}
+
+impl Workflow {
+    /// Creates an empty workflow.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a stream between two components.
+    ///
+    /// Convenience re-export of [`channel`] so examples only import
+    /// `Workflow`.
+    pub fn stream(
+        name: impl Into<String>,
+        capacity_steps: usize,
+        capacity_bytes: usize,
+    ) -> (Writer, Reader) {
+        channel(name, capacity_steps, capacity_bytes)
+    }
+
+    /// Spawns a component on its own thread. The closure owns its stream
+    /// endpoints; when it returns, its writers close and downstream
+    /// components observe end-of-stream.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&mut self, name: impl Into<String>, body: F) {
+        let name = name.into();
+        let handle = std::thread::Builder::new()
+            .name(format!("insitu-{name}"))
+            .spawn(body)
+            .expect("failed to spawn component thread");
+        self.handles.push((name, handle));
+    }
+
+    /// Number of running components.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True when no components have been spawned.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every component to finish.
+    ///
+    /// # Panics
+    /// Propagates a panic from any component thread, naming it.
+    pub fn join(self) {
+        for (name, handle) in self.handles {
+            if handle.join().is_err() {
+                panic!("component '{name}' panicked");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::Variable;
+
+    #[test]
+    fn two_stage_pipeline_moves_all_steps() {
+        let (mut w, r) = Workflow::stream("a->b", 2, 1 << 16);
+        let mut wf = Workflow::new();
+        wf.spawn("producer", move || {
+            for i in 0..20 {
+                w.put(vec![Variable::from_f64("x", vec![1], &[i as f64])])
+                    .unwrap();
+            }
+        });
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        wf.spawn("consumer", move || {
+            let mut sum = 0.0;
+            while let Ok(step) = r.next_step() {
+                sum += step.get("x").unwrap().as_f64()[0];
+            }
+            done_tx.send(sum).unwrap();
+        });
+        wf.join();
+        assert_eq!(done_rx.recv().unwrap(), (0..20).sum::<i64>() as f64);
+    }
+
+    #[test]
+    fn fan_out_to_two_consumers() {
+        let (mut w1, r1) = Workflow::stream("src->a", 2, 1 << 16);
+        let (mut w2, r2) = Workflow::stream("src->b", 2, 1 << 16);
+        let mut wf = Workflow::new();
+        wf.spawn("source", move || {
+            for i in 0..10 {
+                let v = Variable::from_f64("x", vec![1], &[i as f64]);
+                w1.put(vec![v.clone()]).unwrap();
+                w2.put(vec![v]).unwrap();
+            }
+        });
+        let (tx, rx) = std::sync::mpsc::channel();
+        for (label, r) in [("a", r1), ("b", r2)] {
+            let tx = tx.clone();
+            wf.spawn(label, move || {
+                let n = r.iter().count();
+                tx.send(n).unwrap();
+            });
+        }
+        drop(tx);
+        wf.join();
+        let counts: Vec<usize> = rx.iter().collect();
+        assert_eq!(counts, vec![10, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "component 'boom' panicked")]
+    fn join_propagates_component_panic() {
+        let mut wf = Workflow::new();
+        wf.spawn("boom", || panic!("kaboom"));
+        wf.join();
+    }
+
+    #[test]
+    fn empty_workflow_joins() {
+        assert!(Workflow::new().is_empty());
+        Workflow::new().join();
+    }
+}

@@ -1,0 +1,131 @@
+//! Concurrency stress and property tests of the staging streams.
+
+use ceal_staging::{channel, RecvError, Variable, Workflow};
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+#[test]
+fn long_pipeline_under_contention() {
+    // Tiny capacities + many steps: maximum back-pressure churn.
+    let (mut w, r) = channel("stress", 1, 64);
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for i in 0..5_000u64 {
+                w.put(vec![Variable::from_f64("x", vec![1], &[i as f64])])
+                    .unwrap();
+            }
+        });
+        let mut expected = 0u64;
+        while let Ok(step) = r.next_step() {
+            assert_eq!(step.step, expected);
+            assert_eq!(step.get("x").unwrap().as_f64()[0], expected as f64);
+            expected += 1;
+        }
+        assert_eq!(expected, 5_000);
+    });
+}
+
+#[test]
+fn chain_of_relay_threads_preserves_everything() {
+    // src -> relay -> relay -> sink through three bounded streams.
+    let (mut w0, r0) = channel("s0", 2, 1 << 12);
+    let (mut w1, r1) = channel("s1", 2, 1 << 12);
+    let (mut w2, r2) = channel("s2", 2, 1 << 12);
+    let mut wf = Workflow::new();
+    let n = 500u64;
+    wf.spawn("src", move || {
+        for i in 0..n {
+            w0.put(vec![Variable::from_f64("x", vec![1], &[i as f64])])
+                .unwrap();
+        }
+    });
+    wf.spawn("relay1", move || {
+        while let Ok(step) = r0.next_step() {
+            w1.put(step.variables).unwrap();
+        }
+    });
+    wf.spawn("relay2", move || {
+        while let Ok(step) = r1.next_step() {
+            w2.put(step.variables).unwrap();
+        }
+    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    wf.spawn("sink", move || {
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        while let Ok(step) = r2.next_step() {
+            sum += step.get("x").unwrap().as_f64()[0];
+            count += 1;
+        }
+        tx.send((count, sum)).unwrap();
+    });
+    wf.join();
+    let (count, sum) = rx.recv().unwrap();
+    assert_eq!(count, n);
+    assert_eq!(sum, (0..n).sum::<u64>() as f64);
+}
+
+#[test]
+fn stats_are_consistent_after_stress() {
+    let (mut w, r) = channel("stats", 3, 1 << 20);
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            for _ in 0..200 {
+                w.put(vec![Variable::from_f64("x", vec![8], &[0.5; 8])])
+                    .unwrap();
+            }
+        });
+        let mut n = 0;
+        while r.next_step().is_ok() {
+            n += 1;
+        }
+        assert_eq!(n, 200);
+        let stats = r.stats();
+        assert_eq!(stats.steps_written.load(Ordering::Relaxed), 200);
+        assert_eq!(stats.steps_read.load(Ordering::Relaxed), 200);
+        assert_eq!(stats.bytes_moved.load(Ordering::Relaxed), 200 * 64);
+    });
+}
+
+#[test]
+fn reader_sees_closed_after_drain_even_with_delay() {
+    let (mut w, r) = channel("close", 8, 1 << 20);
+    w.put(vec![Variable::from_bytes("b", vec![1, 2, 3])])
+        .unwrap();
+    drop(w);
+    std::thread::sleep(Duration::from_millis(10));
+    assert!(r.next_step().is_ok());
+    assert_eq!(r.next_step(), Err(RecvError::Closed));
+    assert_eq!(r.next_step(), Err(RecvError::Closed));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any capacities and payload schedule, every step arrives exactly
+    /// once and in order.
+    #[test]
+    fn delivery_is_exactly_once_in_order(
+        cap_steps in 1usize..6,
+        cap_bytes in 16usize..4096,
+        sizes in prop::collection::vec(1usize..256, 1..80),
+    ) {
+        let (mut w, r) = channel("prop", cap_steps, cap_bytes);
+        let expected: Vec<usize> = sizes.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for sz in sizes {
+                    let payload = vec![1.0f64; sz];
+                    w.put(vec![Variable::from_f64("x", vec![sz], &payload)]).unwrap();
+                }
+            });
+            let mut got = Vec::new();
+            while let Ok(step) = r.next_step() {
+                got.push(step.get("x").unwrap().len());
+            }
+            prop_assert_eq!(got, expected);
+            Ok(())
+        })?;
+    }
+}

@@ -1,0 +1,95 @@
+//! A *real* in-situ workflow at laptop scale: the GP pipeline with actual
+//! computational kernels coupled through the staging library.
+//!
+//! ```text
+//! cargo run --release --example insitu_stream
+//! ```
+//!
+//! Gray-Scott reaction-diffusion (real stencil kernel) streams `u`-field
+//! frames to two consumers — a per-slice PDF calculator and an ASCII
+//! "G-Plot" renderer — and the PDF stream feeds a "P-Plot" summarizer,
+//! mirroring the GP workflow's DAG. Bounded streams give the same
+//! back-pressure dynamics the cluster simulator models; the printed
+//! statistics show who blocked on whom.
+
+use ceal::apps::kernels::grayscott::GrayScottGrid;
+use ceal::apps::kernels::histogram::slice_pdfs;
+use ceal::staging::{channel, Variable, Workflow};
+
+const SIDE: usize = 96;
+const STEPS: usize = 4000;
+const EMIT_EVERY: usize = 200;
+
+fn main() {
+    // GP topology: gs -> pdf, gs -> gplot, pdf -> pplot.
+    let (mut gs_pdf_w, gs_pdf_r) = channel("gs->pdf", 2, 4 << 20);
+    let (mut gs_plot_w, gs_plot_r) = channel("gs->gplot", 2, 4 << 20);
+    let (mut pdf_plot_w, pdf_plot_r) = channel("pdf->pplot", 2, 1 << 20);
+
+    let mut wf = Workflow::new();
+
+    wf.spawn("gray-scott", move || {
+        let mut grid = GrayScottGrid::new(SIDE);
+        grid.seed(SIDE / 2, SIDE / 2, 4);
+        grid.seed(SIDE / 4, SIDE / 3, 3);
+        for step in 1..=STEPS {
+            grid.step();
+            if step % EMIT_EVERY == 0 {
+                let frame = Variable::from_f64("u", vec![SIDE, SIDE], grid.u());
+                gs_pdf_w.put(vec![frame.clone()]).expect("pdf reader alive");
+                gs_plot_w.put(vec![frame]).expect("plot reader alive");
+            }
+        }
+    });
+
+    wf.spawn("pdf-calc", move || {
+        while let Ok(step) = gs_pdf_r.next_step() {
+            let u = step.get("u").expect("frame has u").as_f64();
+            let pdfs = slice_pdfs(&u, SIDE, 64, 0.0, 1.0);
+            // Publish the per-slice densities downstream.
+            let flat: Vec<f64> = pdfs.iter().flat_map(|h| h.density()).collect();
+            let out = Variable::from_f64("pdf", vec![SIDE, 64], &flat);
+            pdf_plot_w.put(vec![out]).expect("pplot reader alive");
+        }
+    });
+
+    wf.spawn("g-plot", move || {
+        let mut last = None;
+        while let Ok(step) = gs_plot_r.next_step() {
+            last = Some(step);
+        }
+        // "Render" the final frame as ASCII art.
+        if let Some(step) = last {
+            let u = step.get("u").unwrap().as_f64();
+            println!("g-plot: final frame (step {}):", step.step);
+            let ramp = [' ', '.', ':', '*', 'o', '#'];
+            for row in (0..SIDE).step_by(SIDE / 24) {
+                let line: String = (0..SIDE)
+                    .step_by(2)
+                    .map(|col| {
+                        let v = u[row * SIDE + col].clamp(0.0, 1.0);
+                        ramp[((1.0 - v) * (ramp.len() - 1) as f64).round() as usize]
+                    })
+                    .collect();
+                println!("  {line}");
+            }
+        }
+    });
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    wf.spawn("p-plot", move || {
+        let mut frames = 0u64;
+        let mut peak = 0.0f64;
+        while let Ok(step) = pdf_plot_r.next_step() {
+            let pdf = step.get("pdf").unwrap().as_f64();
+            peak = pdf.iter().cloned().fold(peak, f64::max);
+            frames += 1;
+        }
+        tx.send((frames, peak)).unwrap();
+    });
+
+    wf.join();
+    let (frames, peak) = rx.recv().unwrap();
+    println!("\np-plot: {frames} PDF frames, peak density {peak:.2}");
+    println!("expected frames: {}", STEPS / EMIT_EVERY);
+}

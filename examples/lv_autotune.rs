@@ -1,0 +1,66 @@
+//! Full LV tuning scenario: all four algorithms, both objectives.
+//!
+//! ```text
+//! cargo run --release --example lv_autotune
+//! ```
+//!
+//! A scaled-down version of the paper's Fig. 5 study: RS, GEIST, AL and
+//! CEAL tune both the execution time and the computer time of the LV
+//! workflow with a 50-run budget, averaged over 10 repetitions.
+
+use ceal::sim::{Objective, Simulator};
+use ceal::tuner::{
+    sample_pool, ActiveLearning, Autotuner, Ceal, CealParams, Geist, Oracle as _, PoolOracle,
+    RandomSampling, SimOracle,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const BUDGET: usize = 50;
+const REPS: u64 = 10;
+
+fn main() {
+    let workflow = ceal::apps::lv();
+    for objective in [Objective::ExecutionTime, Objective::ComputerTime] {
+        let sim = Simulator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(2021);
+        let pool = sample_pool(&workflow, &sim.platform, 800, &mut rng);
+        let oracle =
+            PoolOracle::precompute(SimOracle::new(sim, workflow.clone(), objective, 7), &pool);
+        let truth = oracle.truth_for(&pool);
+        let best = truth.iter().cloned().fold(f64::INFINITY, f64::min);
+        let expert = oracle
+            .measure(&ceal::apps::expert_config("LV", objective).unwrap())
+            .value;
+
+        println!(
+            "\nLV / {objective}: pool best {best:.2}, expert {expert:.2} ({})",
+            match objective {
+                Objective::ExecutionTime => "seconds",
+                Objective::ComputerTime => "core-hours",
+            }
+        );
+
+        let algos: Vec<Box<dyn Autotuner>> = vec![
+            Box::new(RandomSampling),
+            Box::new(Geist::default()),
+            Box::new(ActiveLearning::default()),
+            Box::new(Ceal::new(CealParams::without_history())),
+        ];
+        for algo in &algos {
+            let seeds: Vec<u64> = (0..REPS).collect();
+            let values = ceal::par::parallel_map(&seeds, |&s| {
+                let run = algo.run(&oracle, &pool, BUDGET, s);
+                oracle.measure(&run.best_predicted).value
+            });
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            println!(
+                "  {:6}  tuned {:8.2}  ({:.3}x pool best, {:+.1}% vs expert)",
+                algo.name(),
+                mean,
+                mean / best,
+                (mean - expert) / expert * 100.0
+            );
+        }
+    }
+}

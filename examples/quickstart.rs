@@ -1,0 +1,59 @@
+//! Quickstart: auto-tune the LV workflow's execution time with CEAL.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the LAMMPS→Voro++ workflow, samples a feasible configuration
+//! pool, runs CEAL with a 25-run budget, and compares its recommendation
+//! against the paper's expert configuration.
+
+use ceal::sim::{Objective, Simulator};
+use ceal::tuner::{sample_pool, Autotuner, Ceal, CealParams, Oracle as _, PoolOracle, SimOracle};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. The workflow and the (simulated) machine it runs on.
+    let workflow = ceal::apps::lv();
+    let sim = Simulator::new();
+    println!(
+        "workflow {}: {} components, {:.1e} possible configurations",
+        workflow.name,
+        workflow.components.len(),
+        workflow.space_size()
+    );
+
+    // 2. A pool of feasible candidate configurations (paper §5).
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let pool = sample_pool(&workflow, &sim.platform, 500, &mut rng);
+
+    // 3. The collector: measures configurations on demand; precomputing the
+    //    pool keeps repeated tuning runs cheap.
+    let oracle = PoolOracle::precompute(
+        SimOracle::new(sim, workflow.clone(), Objective::ExecutionTime, 7),
+        &pool,
+    );
+
+    // 4. CEAL with a budget of 25 workflow-run equivalents.
+    let ceal = Ceal::new(CealParams::without_history());
+    let result = ceal.run(&oracle, &pool, 25, 0);
+
+    let tuned = oracle.measure(&result.best_predicted);
+    let expert_cfg = ceal::apps::expert_config("LV", Objective::ExecutionTime).unwrap();
+    let expert = oracle.measure(&expert_cfg);
+
+    println!(
+        "\nmeasured {} coupled runs + {} component runs",
+        result.runs_used(),
+        result.component_runs.len()
+    );
+    println!("CEAL recommends {:?}", result.best_predicted);
+    println!("  tuned execution time:  {:8.2} s", tuned.exec_time);
+    println!(
+        "  expert execution time: {:8.2} s  {:?}",
+        expert.exec_time, expert_cfg
+    );
+    let delta = (expert.exec_time - tuned.exec_time) / expert.exec_time * 100.0;
+    println!("  improvement over expert: {delta:.1} %");
+}

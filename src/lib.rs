@@ -1,0 +1,26 @@
+//! # ceal — in-situ workflow auto-tuning via combined component models
+//!
+//! A full Rust reproduction of *"Bootstrapping In-situ Workflow Auto-Tuning
+//! via Combining Performance Models of Component Applications"* (Shu et al.,
+//! SC '21). This facade crate re-exports the workspace:
+//!
+//! * [`tuner`] (`ceal-core`) — the paper's contribution: configuration
+//!   spaces, the analytical coupling model, low/high-fidelity models, the
+//!   CEAL algorithm and the RS/AL/GEIST/ALpH comparison algorithms.
+//! * [`ml`] (`ceal-ml`) — gradient-boosted trees and friends.
+//! * [`sim`] (`ceal-sim`) — the cluster + in-situ workflow simulator that
+//!   stands in for the paper's 600-node testbed.
+//! * [`apps`] (`ceal-apps`) — the LV / HS / GP workflows and their component
+//!   applications (cost models + real mini kernels).
+//! * [`staging`] (`ceal-staging`) — the in-process streaming coupling
+//!   library (ADIOS stand-in) used by the runnable examples.
+//! * [`par`] (`ceal-par`) — the parallel-execution substrate.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub use ceal_apps as apps;
+pub use ceal_core as tuner;
+pub use ceal_ml as ml;
+pub use ceal_par as par;
+pub use ceal_sim as sim;
+pub use ceal_staging as staging;

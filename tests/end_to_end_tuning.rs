@@ -1,0 +1,126 @@
+//! End-to-end tuning across the whole stack: workflows (ceal-apps) →
+//! simulator (ceal-sim) → oracle/algorithms (ceal-core).
+
+use ceal::sim::{Objective, Simulator};
+use ceal::tuner::{
+    sample_pool, ActiveLearning, Autotuner, Ceal, CealParams, ComponentHistory, Geist, Oracle,
+    PoolOracle, RandomSampling, SimOracle,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, OnceLock};
+
+struct Fix {
+    pool: Vec<Vec<i64>>,
+    oracle: PoolOracle,
+    best: f64,
+    median: f64,
+}
+
+fn fixture() -> &'static Fix {
+    static FIX: OnceLock<Fix> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let spec = ceal::apps::lv();
+        let sim = Simulator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let pool = sample_pool(&spec, &sim.platform, 400, &mut rng);
+        let oracle =
+            PoolOracle::precompute(SimOracle::new(sim, spec, Objective::ComputerTime, 3), &pool);
+        let mut truth = oracle.truth_for(&pool);
+        truth.sort_by(|a, b| a.total_cmp(b));
+        Fix {
+            best: truth[0],
+            median: truth[truth.len() / 2],
+            pool,
+            oracle,
+        }
+    })
+}
+
+fn mean_tuned(algo: &dyn Autotuner, budget: usize, reps: u64) -> f64 {
+    let fix = fixture();
+    let seeds: Vec<u64> = (0..reps).collect();
+    let vals = ceal::par::parallel_map(&seeds, |&s| {
+        let run = algo.run(&fix.oracle, &fix.pool, budget, s);
+        fix.oracle.measure(&run.best_predicted).value
+    });
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+#[test]
+fn every_algorithm_beats_the_pool_median() {
+    let algos: Vec<Box<dyn Autotuner>> = vec![
+        Box::new(RandomSampling),
+        Box::new(Geist::default()),
+        Box::new(ActiveLearning::default()),
+        Box::new(Ceal::new(CealParams::without_history())),
+    ];
+    for algo in &algos {
+        let v = mean_tuned(algo.as_ref(), 40, 6);
+        assert!(
+            v < fixture().median,
+            "{} tuned {v} worse than the pool median {}",
+            algo.name(),
+            fixture().median
+        );
+    }
+}
+
+#[test]
+fn ceal_beats_random_sampling() {
+    let ceal = mean_tuned(&Ceal::new(CealParams::without_history()), 50, 10);
+    let rs = mean_tuned(&RandomSampling, 50, 10);
+    assert!(ceal < rs, "CEAL {ceal} should beat RS {rs}");
+}
+
+#[test]
+fn ceal_lands_near_the_pool_best() {
+    let fix = fixture();
+    let ceal = mean_tuned(&Ceal::new(CealParams::without_history()), 50, 10);
+    assert!(
+        ceal < fix.best * 1.6,
+        "CEAL mean {ceal} too far from pool best {}",
+        fix.best
+    );
+}
+
+#[test]
+fn history_frees_the_component_budget() {
+    let fix = fixture();
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let hist = Arc::new(ComponentHistory::collect(&fix.oracle, 120, &mut rng));
+    let with = Ceal::with_history(CealParams::with_history(), hist);
+    let run = with.run(&fix.oracle, &fix.pool, 30, 0);
+    assert!(run.component_runs.is_empty());
+    assert_eq!(run.runs_used(), 30);
+
+    let without = Ceal::new(CealParams::without_history());
+    let run2 = without.run(&fix.oracle, &fix.pool, 30, 0);
+    assert!(
+        run2.runs_used() < 30,
+        "m_R must be charged against the budget"
+    );
+    assert!(!run2.component_runs.is_empty());
+}
+
+#[test]
+fn tuning_runs_are_reproducible() {
+    let fix = fixture();
+    let ceal = Ceal::new(CealParams::without_history());
+    let a = ceal.run(&fix.oracle, &fix.pool, 30, 5);
+    let b = ceal.run(&fix.oracle, &fix.pool, 30, 5);
+    assert_eq!(a.best_predicted, b.best_predicted);
+    assert_eq!(a.pool_scores, b.pool_scores);
+    assert_eq!(
+        a.measured.iter().map(|m| &m.config).collect::<Vec<_>>(),
+        b.measured.iter().map(|m| &m.config).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn collection_cost_matches_measured_sum() {
+    let fix = fixture();
+    let run = RandomSampling.run(&fix.oracle, &fix.pool, 20, 0);
+    let direct: f64 = run.measured.iter().map(|m| m.computer_time).sum();
+    assert!((run.collection_cost(Objective::ComputerTime) - direct).abs() < 1e-9);
+}

@@ -1,0 +1,124 @@
+//! Property-based tests (proptest) over the core data structures and
+//! simulator invariants, spanning crates.
+
+use ceal::ml::{metrics, Dataset, GbtParams, GradientBoosting, Regressor};
+use ceal::sim::{bounds, Objective, Platform, Simulator};
+use ceal::tuner::metrics::{recall_score, top_n};
+use proptest::prelude::*;
+
+/// Strategy: a feasible LV configuration (procs, ppn, threads per
+/// component, capped so both components fit the 32-node allocation).
+fn lv_config() -> impl Strategy<Value = Vec<i64>> {
+    (
+        2i64..=500,
+        1i64..=35,
+        1i64..=4,
+        2i64..=500,
+        1i64..=35,
+        1i64..=4,
+    )
+        .prop_map(|(p1, n1, t1, p2, n2, t2)| vec![p1, n1, t1, p2, n2, t2])
+        .prop_filter("allocation fits", |cfg| {
+            ceal::apps::lv().feasible(&Platform::default(), cfg)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every feasible LV run lands within the analytic bounds and has
+    /// non-negative accounting everywhere.
+    #[test]
+    fn lv_runs_within_bounds(cfg in lv_config(), seed in 0u64..1000) {
+        let spec = ceal::apps::lv();
+        let platform = Platform::default();
+        let sim = Simulator::noiseless();
+        let run = sim.run(&spec, &cfg, seed).unwrap();
+        prop_assert!(run.exec_time > 0.0);
+        bounds::within_bounds(&platform, &spec, &cfg, run.exec_time, 1e-6)
+            .map_err(TestCaseError::fail)?;
+        for c in &run.components {
+            prop_assert!(c.busy >= 0.0 && c.blocked_on_space >= 0.0 && c.blocked_on_data >= 0.0);
+            prop_assert!(c.end_time <= run.exec_time + 1e-9);
+        }
+        prop_assert!((run.objective(Objective::ComputerTime)
+            - run.exec_time * (run.total_nodes * 36) as f64 / 3600.0).abs() < 1e-9);
+    }
+
+    /// Noisy measurements stay within a plausible band of the noiseless
+    /// value (log-normal with sigma = 0.02 barely moves it).
+    #[test]
+    fn measurement_noise_is_bounded(cfg in lv_config(), seed in 0u64..200) {
+        let spec = ceal::apps::lv();
+        let clean = Simulator::noiseless().run(&spec, &cfg, seed).unwrap();
+        let noisy = Simulator::new().run(&spec, &cfg, seed).unwrap();
+        let ratio = noisy.exec_time / clean.exec_time;
+        prop_assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Recall score is always within [0, 100], 100 for self, and symmetric
+    /// under exchanging scores/truths.
+    #[test]
+    fn recall_score_properties(values in prop::collection::vec(0.0f64..1e6, 2..60), n in 1usize..10) {
+        let shuffled: Vec<f64> = values.iter().rev().cloned().collect();
+        let r = recall_score(n, &shuffled, &values);
+        prop_assert!((0.0..=100.0).contains(&r));
+        // Eq. 3 divides by n, so a perfect model's recall is capped by the
+        // candidate count when n exceeds it.
+        let self_recall = recall_score(n, &values, &values);
+        let expect = n.min(values.len()) as f64 / n as f64 * 100.0;
+        prop_assert!((self_recall - expect).abs() < 1e-9);
+        let r_sym = recall_score(n, &values, &shuffled);
+        prop_assert!((r - r_sym).abs() < 1e-9, "recall not symmetric: {} vs {}", r, r_sym);
+    }
+
+    /// top_n returns sorted-by-value indices without duplicates.
+    #[test]
+    fn top_n_properties(values in prop::collection::vec(-1e3f64..1e3, 1..50), n in 1usize..20) {
+        let idx = top_n(&values, n);
+        prop_assert_eq!(idx.len(), n.min(values.len()));
+        for w in idx.windows(2) {
+            prop_assert!(values[w[0]] <= values[w[1]]);
+        }
+        let mut dedup = idx.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), idx.len());
+    }
+
+    /// GBT training predictions stay within the convex hull of targets
+    /// widened by a small tolerance (squared loss + shrinkage cannot
+    /// wildly overshoot on the training set).
+    #[test]
+    fn gbt_training_predictions_are_bounded(
+        rows in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 4..40),
+        bias in 0.0f64..100.0,
+    ) {
+        let ys: Vec<f64> = rows.iter().map(|r| bias + r.iter().sum::<f64>()).collect();
+        let data = Dataset::from_rows(&rows, &ys);
+        let mut model = GradientBoosting::new(GbtParams { n_rounds: 40, ..Default::default() });
+        model.fit(&data);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-6);
+        for i in 0..data.n_rows() {
+            let p = model.predict_row(data.row(i));
+            prop_assert!(p >= lo - 0.5 * span && p <= hi + 0.5 * span,
+                "prediction {} escapes [{}, {}]", p, lo, hi);
+        }
+    }
+
+    /// MdAPE is invariant under uniform scaling of both inputs.
+    #[test]
+    fn mdape_scale_invariance(
+        pairs in prop::collection::vec((1.0f64..1e4, 1.0f64..1e4), 1..30),
+        scale in 0.01f64..100.0,
+    ) {
+        let (a, p): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let a2: Vec<f64> = a.iter().map(|x| x * scale).collect();
+        let p2: Vec<f64> = p.iter().map(|x| x * scale).collect();
+        let d1 = metrics::mdape(&a, &p);
+        let d2 = metrics::mdape(&a2, &p2);
+        prop_assert!((d1 - d2).abs() < 1e-9 * d1.max(1.0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Real in-process workflows through the staging library, checking the
+//! coupling semantics the simulator models: completeness, ordering, and
+//! back-pressure.
+
+use ceal::apps::kernels::grayscott::GrayScottGrid;
+use ceal::apps::kernels::histogram::slice_pdfs;
+use ceal::apps::kernels::stencil::HeatGrid;
+use ceal::staging::{channel, Variable, Workflow};
+use std::time::Duration;
+
+#[test]
+fn heat_to_stagewrite_moves_every_emission() {
+    // HS topology: heat -> (file) sink, here an in-memory accumulator.
+    let (mut w, r) = channel("heat->sw", 2, 8 << 20);
+    let mut wf = Workflow::new();
+    let n = 32usize;
+    let outputs = 8u64;
+
+    wf.spawn("heat", move || {
+        let mut g = HeatGrid::new(n, 0.2, 0.0);
+        g.set(n / 2, n / 2, 50.0);
+        for _ in 0..outputs {
+            for _ in 0..5 {
+                g.step();
+            }
+            w.put(vec![Variable::from_f64("state", vec![n, n], g.field())])
+                .unwrap();
+        }
+    });
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    wf.spawn("stage-write", move || {
+        let mut written = Vec::new();
+        while let Ok(step) = r.next_step() {
+            let state = step.get("state").unwrap().as_f64();
+            let total: f64 = state.iter().sum();
+            written.push((step.step, total));
+        }
+        tx.send(written).unwrap();
+    });
+
+    wf.join();
+    let written = rx.recv().unwrap();
+    assert_eq!(written.len(), outputs as usize);
+    // Steps in order, and total heat conserved in every emission.
+    for (i, (step, total)) in written.iter().enumerate() {
+        assert_eq!(*step, i as u64);
+        assert!((total - 50.0).abs() < 1e-6, "heat leaked: {total}");
+    }
+}
+
+#[test]
+fn gp_fanout_delivers_to_both_consumers() {
+    let (mut w_pdf, r_pdf) = channel("gs->pdf", 1, 1 << 20);
+    let (mut w_plot, r_plot) = channel("gs->plot", 1, 1 << 20);
+    let mut wf = Workflow::new();
+    let side = 24usize;
+    let frames = 6u64;
+
+    wf.spawn("gray-scott", move || {
+        let mut g = GrayScottGrid::new(side);
+        g.seed(side / 2, side / 2, 2);
+        for _ in 0..frames {
+            for _ in 0..10 {
+                g.step();
+            }
+            let v = Variable::from_f64("u", vec![side, side], g.u());
+            w_pdf.put(vec![v.clone()]).unwrap();
+            w_plot.put(vec![v]).unwrap();
+        }
+    });
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (name, reader) in [("pdf", r_pdf), ("plot", r_plot)] {
+        let tx = tx.clone();
+        wf.spawn(name, move || {
+            let mut count = 0u64;
+            while let Ok(step) = reader.next_step() {
+                let u = step.get("u").unwrap().as_f64();
+                if name == "pdf" {
+                    let pdfs = slice_pdfs(&u, side, 16, 0.0, 1.0);
+                    assert_eq!(pdfs.len(), side);
+                }
+                count += 1;
+            }
+            tx.send((name, count)).unwrap();
+        });
+    }
+    drop(tx);
+    wf.join();
+    let counts: Vec<(&str, u64)> = rx.iter().collect();
+    assert_eq!(counts.len(), 2);
+    for (name, count) in counts {
+        assert_eq!(count, frames, "consumer {name} missed frames");
+    }
+}
+
+#[test]
+fn slow_consumer_backpressures_fast_producer() {
+    let (mut w, r) = channel("fast->slow", 1, 1 << 16);
+    let mut wf = Workflow::new();
+    let steps = 12u64;
+
+    wf.spawn("fast-producer", move || {
+        for i in 0..steps {
+            w.put(vec![Variable::from_f64("x", vec![1], &[i as f64])])
+                .unwrap();
+        }
+        assert!(
+            w.stats().writer_blocked() > Duration::from_millis(20),
+            "producer should have been back-pressured"
+        );
+    });
+    wf.spawn("slow-consumer", move || {
+        while let Ok(_step) = r.next_step() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+    wf.join();
+}
