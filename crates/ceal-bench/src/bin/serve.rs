@@ -1,0 +1,48 @@
+//! `serve` — run the CEAL tuning service.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7070] [--workers N] [--cache tuning-cache.json]
+//!       [--idle-secs N]
+//! ```
+//!
+//! Serves until a client sends a `Shutdown` request, then drains in-flight
+//! work and exits. Point the `tune` binary at it with `--remote ADDR`.
+
+use ceal_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--addr HOST:PORT] [--workers N] [--cache file.json] [--idle-secs N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:7070".into(),
+        ..ServeConfig::default()
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = val(),
+            "--workers" => config.workers = val().parse().unwrap_or_else(|_| usage()),
+            "--cache" => config.cache_path = Some(val().into()),
+            "--idle-secs" => {
+                config.idle_timeout = Duration::from_secs(val().parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+    }
+
+    let server = Server::bind(config).unwrap_or_else(|e| {
+        eprintln!("cannot bind: {e}");
+        std::process::exit(1);
+    });
+    println!("ceal-serve listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("serve loop failed: {e}");
+        std::process::exit(1);
+    }
+    println!("ceal-serve drained and stopped");
+}

@@ -3,10 +3,14 @@
 //! ```text
 //! tune --workflow LV --objective comp --budget 50 [--algo ceal|al|rs|geist|bo|rl]
 //!      [--pool 2000] [--seed 0] [--history path.json] [--save-history path.json]
+//!      [--remote HOST:PORT]
 //! ```
 //!
 //! Prints the recommended configuration, its measured performance, and the
-//! comparison against the paper's expert recommendation.
+//! comparison against the paper's expert recommendation. With `--remote` the
+//! campaign runs on a `serve` instance instead of in-process; results come
+//! back over the wire (possibly straight from the server's persistent cache)
+//! and are identical to the local path for the same seed.
 
 use ceal_core::{
     sample_pool, ActiveLearning, Autotuner, BanditTuner, BayesOpt, Ceal, CealParams,
@@ -26,13 +30,14 @@ struct Args {
     seed: u64,
     history: Option<String>,
     save_history: Option<String>,
+    remote: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tune --workflow LV|HS|GP [--objective exec|comp] [--budget N] \
          [--algo ceal|al|rs|geist|alph|bo|rl] [--pool N] [--seed N] \
-         [--history file.json] [--save-history file.json]"
+         [--history file.json] [--save-history file.json] [--remote HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -47,6 +52,7 @@ fn parse() -> Args {
         seed: 0,
         history: None,
         save_history: None,
+        remote: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,6 +72,7 @@ fn parse() -> Args {
             "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
             "--history" => args.history = Some(val()),
             "--save-history" => args.save_history = Some(val()),
+            "--remote" => args.remote = Some(val()),
             _ => usage(),
         }
     }
@@ -81,6 +88,15 @@ fn main() {
         eprintln!("unknown workflow '{}'", args.workflow);
         usage();
     };
+    if let Some(addr) = &args.remote {
+        if args.history.is_some() || args.save_history.is_some() {
+            eprintln!("--history/--save-history are not supported with --remote");
+            std::process::exit(2);
+        }
+        tune_remote(addr, &spec, &args);
+        return;
+    }
+
     let sim = Simulator::new();
     println!(
         "tuning {} for {} with {} ({} run budget, pool {})",
@@ -171,4 +187,54 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot save history {path}: {e}"));
         println!("saved {} component samples to {path}", h.total_samples());
     }
+}
+
+/// Run the campaign on a `serve` instance and print the same report the
+/// local path would. The server replicates the in-process construction
+/// (same pool seed, same oracle seed) so the recommendation matches.
+fn tune_remote(addr: &str, spec: &ceal_sim::WorkflowSpec, args: &Args) {
+    let objective = match args.objective {
+        Objective::ExecutionTime => "exec",
+        Objective::ComputerTime => "comp",
+    };
+    println!(
+        "tuning {} for {} with {} ({} run budget, pool {}) via {addr}",
+        spec.name, args.objective, args.algo, args.budget, args.pool
+    );
+    let mut client = ceal_serve::Client::connect(addr)
+        .unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"));
+    let t0 = std::time::Instant::now();
+    let outcome = client
+        .tune(ceal_serve::TuneParams {
+            workflow: spec.name.clone(),
+            objective: objective.into(),
+            budget: args.budget as u64,
+            pool: args.pool as u64,
+            seed: args.seed,
+            algo: args.algo.clone(),
+        })
+        .unwrap_or_else(|e| panic!("remote tuning failed: {e}"));
+
+    println!(
+        "\n{}: measured {} coupled + {} component runs in {:.1}s{}",
+        args.algo,
+        outcome.runs_used,
+        outcome.component_runs,
+        t0.elapsed().as_secs_f64(),
+        if outcome.from_cache {
+            " (served from cache)"
+        } else {
+            ""
+        }
+    );
+    let names: Vec<&str> = spec.all_params().iter().map(|p| p.name).collect();
+    println!("recommended configuration:");
+    for (name, v) in names.iter().zip(&outcome.best) {
+        println!("  {name:>16} = {v}");
+    }
+    let unit = match args.objective {
+        Objective::ExecutionTime => "s",
+        Objective::ComputerTime => "core-hours",
+    };
+    println!("measured performance: {:.3} {unit}", outcome.best_value);
 }

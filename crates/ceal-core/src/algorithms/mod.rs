@@ -139,8 +139,27 @@ pub(crate) fn fit_surrogate_kind(
     measured: &[Measurement],
     seed: u64,
 ) -> Box<dyn Regressor> {
-    let rows: Vec<Vec<f64>> = measured.iter().map(|m| fm.encode(&m.config)).collect();
-    let ys: Vec<f64> = measured.iter().map(|m| m.value).collect();
+    let samples: Vec<(Vec<i64>, f64)> = measured
+        .iter()
+        .map(|m| (m.config.clone(), m.value))
+        .collect();
+    fit_surrogate_samples(kind, fm, &samples, seed)
+}
+
+/// Fits a surrogate of the requested model family on raw
+/// `(configuration, value)` pairs.
+///
+/// This is the entry point for callers that hold measurements outside the
+/// [`Measurement`] struct — e.g. a serving layer refitting a surrogate from
+/// a persisted cache of `(config, value)` samples without re-measuring.
+pub fn fit_surrogate_samples(
+    kind: SurrogateKind,
+    fm: &FeatureMap,
+    samples: &[(Vec<i64>, f64)],
+    seed: u64,
+) -> Box<dyn Regressor> {
+    let rows: Vec<Vec<f64>> = samples.iter().map(|(c, _)| fm.encode(c)).collect();
+    let ys: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
     let data = Dataset::from_rows(&rows, &ys);
     match kind {
         SurrogateKind::BoostedTrees => {

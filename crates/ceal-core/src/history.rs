@@ -11,6 +11,31 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
+/// Why two histories could not be combined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// The histories describe workflows with different component counts.
+    ComponentCountMismatch {
+        /// Component count of the receiving history.
+        ours: usize,
+        /// Component count of the incoming history.
+        theirs: usize,
+    },
+}
+
+impl std::fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ComponentCountMismatch { ours, theirs } => write!(
+                f,
+                "component count mismatch: history has {ours} components, incoming has {theirs}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
 /// Per-component solo configuration–value samples.
 #[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
 pub struct ComponentHistory {
@@ -81,17 +106,20 @@ impl ComponentHistory {
     /// Merges another history collected for the same workflow (e.g. from a
     /// different campaign), component by component.
     ///
-    /// # Panics
-    /// Panics on component-count mismatch.
-    pub fn merge(&mut self, other: &ComponentHistory) {
-        assert_eq!(
-            self.n_components(),
-            other.n_components(),
-            "component count mismatch"
-        );
+    /// Fails without modifying `self` when the component counts differ —
+    /// callers holding histories from untrusted sources (files, network
+    /// peers) must not bring the process down on a shape mismatch.
+    pub fn merge(&mut self, other: &ComponentHistory) -> Result<(), HistoryError> {
+        if self.n_components() != other.n_components() {
+            return Err(HistoryError::ComponentCountMismatch {
+                ours: self.n_components(),
+                theirs: other.n_components(),
+            });
+        }
         for (mine, theirs) in self.samples.iter_mut().zip(&other.samples) {
             mine.extend(theirs.iter().cloned());
         }
+        Ok(())
     }
 }
 
@@ -129,7 +157,14 @@ mod tests {
         let mut h = ComponentHistory::empty(2);
         h.push(0, vec![10, 2], 3.25);
         h.push(1, vec![7], 0.5);
-        let path = std::env::temp_dir().join("ceal-history-roundtrip.json");
+        // Unique per process AND per call: concurrent test binaries (and
+        // reruns within one) must not race on a shared fixed path.
+        static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "ceal-history-roundtrip-{}-{}.json",
+            std::process::id(),
+            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         h.save(&path).unwrap();
         let loaded = ComponentHistory::load(&path).unwrap();
         assert_eq!(loaded, h);
@@ -143,16 +178,22 @@ mod tests {
         let mut b = ComponentHistory::empty(2);
         b.push(0, vec![2], 2.0);
         b.push(1, vec![3], 3.0);
-        a.merge(&b);
+        a.merge(&b).unwrap();
         assert_eq!(a.samples[0].len(), 2);
         assert_eq!(a.samples[1].len(), 1);
         assert_eq!(a.total_samples(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "component count mismatch")]
     fn merge_rejects_mismatched_shapes() {
         let mut a = ComponentHistory::empty(1);
-        a.merge(&ComponentHistory::empty(2));
+        a.push(0, vec![1], 1.0);
+        let err = a.merge(&ComponentHistory::empty(2)).unwrap_err();
+        assert_eq!(
+            err,
+            HistoryError::ComponentCountMismatch { ours: 1, theirs: 2 }
+        );
+        // The failed merge must leave the receiver untouched.
+        assert_eq!(a.total_samples(), 1);
     }
 }

@@ -32,12 +32,13 @@ pub mod oracle;
 pub mod pool;
 
 pub use acm::{CombineFn, ComponentModels, LowFidelityModel};
+pub use algorithms::fit_surrogate_samples;
 pub use algorithms::{
     ActiveLearning, Alph, Autotuner, BanditTuner, BayesOpt, Ceal, CealParams, EnsembleKind,
     EnsembleTuner, Geist, RandomSampling, SurrogateKind, SwitchMode, TunerRun,
 };
 pub use fault::{FaultInjector, RetryingCollector};
 pub use features::FeatureMap;
-pub use history::ComponentHistory;
-pub use oracle::{Measurement, Oracle, PoolOracle, SimOracle};
+pub use history::{ComponentHistory, HistoryError};
+pub use oracle::{MeasureError, Measurement, Oracle, PoolOracle, SimOracle, SoloMeasurement};
 pub use pool::sample_pool;

@@ -41,6 +41,33 @@ pub struct SoloMeasurement {
     pub computer_time: f64,
 }
 
+/// Why a fallible measurement failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// The simulator rejected the run (infeasible configuration, ...).
+    Sim(SimError),
+    /// The measurement backend failed for a non-simulator reason
+    /// (injected fault, lost connection, crashed component, ...).
+    Failed(String),
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Sim(e) => write!(f, "simulation failed: {e}"),
+            Self::Failed(msg) => write!(f, "measurement failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+impl From<SimError> for MeasureError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
 /// A measurement source for one workflow under one objective.
 pub trait Oracle: Sync {
     /// The workflow being tuned.
@@ -57,6 +84,21 @@ pub trait Oracle: Sync {
     fn measure(&self, config: &[i64]) -> Measurement;
     /// Measures a standalone component run.
     fn measure_component(&self, component: usize, values: &[i64]) -> SoloMeasurement;
+    /// Fallible variant of [`Oracle::measure`] for callers that must stay
+    /// alive across bad configurations (e.g. a tuning service answering
+    /// requests it did not construct itself). The default delegates to the
+    /// panicking path, so oracles that can fail should override it.
+    fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError> {
+        Ok(self.measure(config))
+    }
+    /// Fallible variant of [`Oracle::measure_component`].
+    fn try_measure_component(
+        &self,
+        component: usize,
+        values: &[i64],
+    ) -> Result<SoloMeasurement, MeasureError> {
+        Ok(self.measure_component(component, values))
+    }
 }
 
 /// FNV-style hash of a configuration, used to derive its measurement seed.
@@ -106,6 +148,24 @@ impl SimOracle {
             computer_time: r.computer_time,
         })
     }
+
+    /// Measures a standalone component run, returning the simulator error
+    /// on failure.
+    pub fn try_measure_component(
+        &self,
+        component: usize,
+        values: &[i64],
+    ) -> Result<SoloMeasurement, SimError> {
+        let seed = config_seed(self.base_seed, 1 + component as u64, values);
+        let r = self.sim.run_solo(&self.spec, component, values, seed)?;
+        Ok(SoloMeasurement {
+            component,
+            values: values.to_vec(),
+            value: r.objective(self.objective),
+            exec_time: r.exec_time,
+            computer_time: r.computer_time,
+        })
+    }
 }
 
 impl Oracle for SimOracle {
@@ -127,18 +187,20 @@ impl Oracle for SimOracle {
     }
 
     fn measure_component(&self, component: usize, values: &[i64]) -> SoloMeasurement {
-        let seed = config_seed(self.base_seed, 1 + component as u64, values);
-        let r = self
-            .sim
-            .run_solo(&self.spec, component, values, seed)
-            .unwrap_or_else(|e| panic!("solo measurement failed: {e}"));
-        SoloMeasurement {
-            component,
-            values: values.to_vec(),
-            value: r.objective(self.objective),
-            exec_time: r.exec_time,
-            computer_time: r.computer_time,
-        }
+        SimOracle::try_measure_component(self, component, values)
+            .unwrap_or_else(|e| panic!("solo measurement failed: {e}"))
+    }
+
+    fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError> {
+        SimOracle::try_measure(self, config).map_err(MeasureError::Sim)
+    }
+
+    fn try_measure_component(
+        &self,
+        component: usize,
+        values: &[i64],
+    ) -> Result<SoloMeasurement, MeasureError> {
+        SimOracle::try_measure_component(self, component, values).map_err(MeasureError::Sim)
     }
 }
 
@@ -191,6 +253,22 @@ impl Oracle for PoolOracle {
 
     fn measure_component(&self, component: usize, values: &[i64]) -> SoloMeasurement {
         self.inner.measure_component(component, values)
+    }
+
+    fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError> {
+        if let Some(m) = self.table.get(config) {
+            Ok(m.clone())
+        } else {
+            Oracle::try_measure(&self.inner, config)
+        }
+    }
+
+    fn try_measure_component(
+        &self,
+        component: usize,
+        values: &[i64],
+    ) -> Result<SoloMeasurement, MeasureError> {
+        Oracle::try_measure_component(&self.inner, component, values)
     }
 }
 
@@ -253,5 +331,30 @@ mod tests {
     fn infeasible_measurement_errors() {
         let o = oracle();
         assert!(o.try_measure(&[1085, 1, 1, 1085, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn trait_try_measure_matches_measure_and_errors_on_infeasible() {
+        let o = oracle();
+        let cfg = vec![100, 20, 1, 50, 10, 1];
+        let dyn_o: &dyn Oracle = &o;
+        assert_eq!(dyn_o.try_measure(&cfg).unwrap(), o.measure(&cfg));
+        let err = dyn_o.try_measure(&[1085, 1, 1, 1085, 1, 1]).unwrap_err();
+        assert!(matches!(err, MeasureError::Sim(_)), "got {err}");
+        let solo = dyn_o.try_measure_component(0, &[100, 20, 1]).unwrap();
+        assert_eq!(solo, o.measure_component(0, &[100, 20, 1]));
+    }
+
+    #[test]
+    fn pool_oracle_try_measure_serves_table_and_fallback() {
+        let pool = vec![vec![100, 20, 1, 50, 10, 1]];
+        let p = PoolOracle::precompute(oracle(), &pool);
+        let dyn_o: &dyn Oracle = &p;
+        assert_eq!(
+            dyn_o.try_measure(&pool[0]).unwrap().value,
+            p.truth_for(&pool)[0]
+        );
+        assert!(dyn_o.try_measure(&[120, 24, 1, 60, 12, 1]).is_ok());
+        assert!(dyn_o.try_measure(&[1085, 1, 1, 1085, 1, 1]).is_err());
     }
 }

@@ -1,0 +1,259 @@
+//! Persistent autotune cache.
+//!
+//! A completed campaign is a pure function of its [`CacheKey`] — workflow,
+//! platform fingerprint, objective, pool seed/size, budget, and algorithm —
+//! so its result can be served to every later client without re-tuning
+//! (the Collective Knowledge argument: autotuning results become valuable
+//! when shared). Entries carry the campaign's measured `(config, value)`
+//! samples too, so a warm session can refit its surrogate from the cache
+//! with zero oracle spend.
+//!
+//! The cache persists as a JSON file guarded by an FNV-64 checksum; a
+//! truncated or hand-edited file fails validation and is ignored rather
+//! than trusted.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Everything that determines a campaign's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheKey {
+    /// Workflow name, uppercase.
+    pub workflow: String,
+    /// Fingerprint of the measurement platform (see
+    /// [`platform_fingerprint`]).
+    pub platform: String,
+    /// Objective: `exec` or `comp`.
+    pub objective: String,
+    /// Candidate-pool size.
+    pub pool: u64,
+    /// Pool/tuner seed.
+    pub seed: u64,
+    /// Coupled-run budget.
+    pub budget: u64,
+    /// Algorithm name, with a `tune:` or `session:` prefix so one-shot
+    /// and incremental campaigns (different code paths) never cross-serve.
+    pub algo: String,
+}
+
+/// One completed campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The campaign's key.
+    pub key: CacheKey,
+    /// Recommended configuration.
+    pub best: Vec<i64>,
+    /// Measured objective value of `best`.
+    pub best_value: f64,
+    /// Coupled runs consumed.
+    pub runs_used: u64,
+    /// Component solo runs consumed.
+    pub component_runs: u64,
+    /// Measured coupled `(config, value)` samples, for surrogate refits.
+    pub samples: Vec<(Vec<i64>, f64)>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CacheFile {
+    checksum: String,
+    entries: Vec<CacheEntry>,
+}
+
+/// Stable fingerprint of a [`Platform`](ceal_sim::Platform): results
+/// measured on one machine model must never answer queries about another.
+pub fn platform_fingerprint(p: &ceal_sim::Platform) -> String {
+    // Debug-format every field, then hash; adding a Platform field changes
+    // the fingerprint automatically.
+    let repr = format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}",
+        p.total_nodes,
+        p.cores_per_node,
+        p.link_bandwidth,
+        p.fabric_bandwidth,
+        p.net_latency,
+        p.chunk_overhead,
+        p.fs_bandwidth,
+        p.fs_per_proc_bandwidth,
+        p.fs_open_overhead,
+        p.mem_bw_share,
+        p.staging_interference,
+    );
+    format!("{:016x}", fnv64(repr.as_bytes()))
+}
+
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A thread-safe cache of completed campaigns, optionally persisted.
+pub struct AutotuneCache {
+    entries: Mutex<Vec<CacheEntry>>,
+    path: Option<PathBuf>,
+}
+
+impl AutotuneCache {
+    /// An in-memory cache (nothing persisted).
+    pub fn in_memory() -> Self {
+        Self {
+            entries: Mutex::new(Vec::new()),
+            path: None,
+        }
+    }
+
+    /// A cache persisted at `path`, warm-loaded from it when the file
+    /// exists and its checksum validates. A missing or corrupt file yields
+    /// an empty cache, never an error — serving must start regardless.
+    pub fn at_path(path: impl AsRef<Path>) -> Self {
+        let path = path.as_ref().to_path_buf();
+        let entries = Self::load(&path).unwrap_or_default();
+        Self {
+            entries: Mutex::new(entries),
+            path: Some(path),
+        }
+    }
+
+    fn load(path: &Path) -> Option<Vec<CacheEntry>> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let file: CacheFile = serde_json::from_str(&text).ok()?;
+        let expect = Self::checksum(&file.entries)?;
+        if expect == file.checksum {
+            Some(file.entries)
+        } else {
+            None
+        }
+    }
+
+    fn checksum(entries: &[CacheEntry]) -> Option<String> {
+        let json = serde_json::to_string(&entries.to_vec()).ok()?;
+        Some(format!("{:016x}", fnv64(json.as_bytes())))
+    }
+
+    /// Number of cached campaigns.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cache holds no campaigns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a campaign by key.
+    pub fn get(&self, key: &CacheKey) -> Option<CacheEntry> {
+        self.entries.lock().iter().find(|e| &e.key == key).cloned()
+    }
+
+    /// Inserts (or replaces) a campaign and persists the cache when a path
+    /// is configured. Persistence failures are reported but don't fail the
+    /// insert — the in-memory cache stays authoritative for this process.
+    pub fn put(&self, entry: CacheEntry) -> std::io::Result<()> {
+        let snapshot = {
+            let mut entries = self.entries.lock();
+            entries.retain(|e| e.key != entry.key);
+            entries.push(entry);
+            entries.clone()
+        };
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let checksum = Self::checksum(&snapshot)
+            .ok_or_else(|| std::io::Error::other("cache serialization failed"))?;
+        let file = CacheFile {
+            checksum,
+            entries: snapshot,
+        };
+        let json = serde_json::to_string_pretty(&file).map_err(std::io::Error::other)?;
+        // Write-then-rename so a crash mid-write can't corrupt the cache:
+        // a torn temp file simply fails checksum validation next load.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            workflow: "LV".into(),
+            platform: platform_fingerprint(&ceal_sim::Platform::default()),
+            objective: "comp".into(),
+            pool: 500,
+            seed,
+            budget: 25,
+            algo: "tune:ceal".into(),
+        }
+    }
+
+    fn entry(seed: u64) -> CacheEntry {
+        CacheEntry {
+            key: key(seed),
+            best: vec![18, 18, 2, 18, 18, 2],
+            best_value: 1.5,
+            runs_used: 25,
+            component_runs: 12,
+            samples: vec![(vec![18, 18, 2, 18, 18, 2], 1.5)],
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ceal-cache-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn get_put_round_trip_in_memory() {
+        let cache = AutotuneCache::in_memory();
+        assert!(cache.get(&key(1)).is_none());
+        cache.put(entry(1)).unwrap();
+        assert_eq!(cache.get(&key(1)).unwrap(), entry(1));
+        assert!(cache.get(&key(2)).is_none());
+        // Replacement keeps one entry per key.
+        cache.put(entry(1)).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn persists_and_reloads_with_valid_checksum() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let cache = AutotuneCache::at_path(&path);
+            cache.put(entry(7)).unwrap();
+        }
+        let warm = AutotuneCache::at_path(&path);
+        assert_eq!(warm.get(&key(7)).unwrap(), entry(7));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_is_ignored() {
+        let path = temp_path("corrupt");
+        {
+            let cache = AutotuneCache::at_path(&path);
+            cache.put(entry(3)).unwrap();
+        }
+        // Flip a byte inside the payload: checksum must catch it.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text = text.replace("\"best_value\": 1.5", "\"best_value\": 9.5");
+        std::fs::write(&path, text).unwrap();
+        let reloaded = AutotuneCache::at_path(&path);
+        assert!(reloaded.is_empty(), "tampered cache must not load");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn different_platforms_have_different_fingerprints() {
+        let a = ceal_sim::Platform::default();
+        let mut b = ceal_sim::Platform::default();
+        b.cores_per_node += 1;
+        assert_ne!(platform_fingerprint(&a), platform_fingerprint(&b));
+    }
+}

@@ -1,0 +1,240 @@
+//! Blocking client for the tuning service.
+//!
+//! One [`Client`] wraps one TCP connection and issues requests
+//! synchronously; it is deliberately simple (no pipelining, no retry
+//! policy) because the protocol is strictly request/response. Error frames
+//! surface as [`ClientError::Server`] with the server's stable error code,
+//! so callers can distinguish a retryable `measurement-failed` from a
+//! permanent `bad-request`.
+
+use crate::frame::{read_message, write_message, FrameError};
+use crate::protocol::{
+    MetricsReport, Request, Response, SessionStatus, TuneParams, PROTOCOL_VERSION,
+};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, frame I/O, JSON decode).
+    Transport(FrameError),
+    /// The server answered with an error frame.
+    Server {
+        /// Stable machine-readable code (see
+        /// [`Response::Error`](crate::protocol::Response::Error)).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong shape.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Transport(e) => write!(f, "transport error: {e}"),
+            Self::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            Self::UnexpectedResponse(got) => write!(f, "unexpected response: {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        Self::Transport(e)
+    }
+}
+
+impl ClientError {
+    /// The server-side error code, when this is an error frame.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            Self::Server { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a one-shot tuning request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneOutcome {
+    /// Recommended configuration.
+    pub best: Vec<i64>,
+    /// Measured objective value of `best`.
+    pub best_value: f64,
+    /// Coupled runs the tuner consumed.
+    pub runs_used: u64,
+    /// Component solo runs the tuner consumed.
+    pub component_runs: u64,
+    /// Whether the server answered from its persistent cache.
+    pub from_cache: bool,
+}
+
+/// A blocking connection to a tuning server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and verifies the protocol version with a ping.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
+        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        let mut client = Client { stream };
+        let version = client.ping()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ClientError::UnexpectedResponse(format!(
+                "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+            )));
+        }
+        Ok(client)
+    }
+
+    /// Sets the per-response wait limit.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(FrameError::Io)?;
+        Ok(())
+    }
+
+    /// Sends one request and reads one response, translating error frames.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_message(&mut self.stream, req)?;
+        let resp: Response = read_message(&mut self.stream)?;
+        match resp {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Liveness check; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<u32, ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { version } => Ok(version),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Runs (or fetches from cache) a complete tuning campaign.
+    pub fn tune(&mut self, params: TuneParams) -> Result<TuneOutcome, ClientError> {
+        match self.request(&Request::Tune(params))? {
+            Response::TuneResult {
+                best,
+                best_value,
+                runs_used,
+                component_runs,
+                from_cache,
+            } => Ok(TuneOutcome {
+                best,
+                best_value,
+                runs_used,
+                component_runs,
+                from_cache,
+            }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Opens an incremental session; returns its status and whether it was
+    /// bootstrapped from the cache.
+    pub fn create_session(
+        &mut self,
+        params: TuneParams,
+        failure_rate: f64,
+        fault_seed: u64,
+    ) -> Result<(SessionStatus, bool), ClientError> {
+        let req = Request::CreateSession {
+            params,
+            failure_rate,
+            fault_seed,
+        };
+        match self.request(&req)? {
+            Response::SessionCreated { status, from_cache } => Ok((status, from_cache)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    fn expect_session(&mut self, req: &Request) -> Result<SessionStatus, ClientError> {
+        match self.request(req)? {
+            Response::Session(status) => Ok(status),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Spends up to `runs` measurements advancing a session.
+    pub fn advance(&mut self, session: u64, runs: u64) -> Result<SessionStatus, ClientError> {
+        self.expect_session(&Request::Advance { session, runs })
+    }
+
+    /// Reads a session's status.
+    pub fn status(&mut self, session: u64) -> Result<SessionStatus, ClientError> {
+        self.expect_session(&Request::Status { session })
+    }
+
+    /// Contributes historical component samples to a session.
+    pub fn push_history(
+        &mut self,
+        session: u64,
+        samples: Vec<Vec<(Vec<i64>, f64)>>,
+    ) -> Result<SessionStatus, ClientError> {
+        self.expect_session(&Request::PushHistory { session, samples })
+    }
+
+    /// Scores configurations with a session's surrogate.
+    pub fn predict(
+        &mut self,
+        session: u64,
+        configs: Vec<Vec<i64>>,
+    ) -> Result<Vec<f64>, ClientError> {
+        match self.request(&Request::Predict { session, configs })? {
+            Response::Predictions { values } => Ok(values),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Measures one ad-hoc configuration with a session's oracle; returns
+    /// `(value, exec_time, computer_time)`.
+    pub fn measure(
+        &mut self,
+        session: u64,
+        config: Vec<i64>,
+    ) -> Result<(f64, f64, f64), ClientError> {
+        match self.request(&Request::Measure { session, config })? {
+            Response::Measured {
+                value,
+                exec_time,
+                computer_time,
+            } => Ok((value, exec_time, computer_time)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Closes a session.
+    pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
+        match self.request(&Request::CloseSession { session })? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server's counters.
+    pub fn metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and exit its serve loop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Length-prefixed JSON frames.
+//!
+//! Every protocol message is one frame: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. Length prefixing keeps the
+//! reader trivial (no streaming JSON parser needed) and lets the server
+//! reject oversized payloads before allocating for them.
+
+use bytes::{Buf, BufMut, Bytes};
+use std::io::{Read, Write};
+
+/// Frames larger than this are rejected as malformed rather than
+/// allocated — a corrupt or hostile length prefix must not OOM the server.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Why a frame could not be read or written.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The peer closed the connection at a frame boundary (clean EOF).
+    Closed,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// The payload was not the JSON we expected.
+    Decode(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "frame i/o error: {e}"),
+            Self::Closed => write!(f, "connection closed"),
+            Self::TooLarge(n) => write!(f, "frame of {n} bytes exceeds limit {MAX_FRAME_LEN}"),
+            Self::Decode(msg) => write!(f, "frame decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes one frame: length prefix plus payload in a single `write_all`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(payload.len()));
+    }
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Whether a [`FrameError`] is a read timeout at a frame boundary — the
+/// connection is idle, not broken, and the caller may simply retry.
+pub fn is_idle_timeout(e: &FrameError) -> bool {
+    matches!(e, FrameError::Io(io) if is_timeout(io))
+}
+
+fn read_full(r: &mut impl Read, buf: &mut [u8], mut filled: usize) -> std::io::Result<()> {
+    // Unlike `read_exact`, keeps waiting through read timeouts: once a
+    // frame has started arriving, a slow peer mid-frame is not an error.
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted || is_timeout(&e) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame's payload.
+///
+/// Returns [`FrameError::Closed`] on EOF at a frame boundary (the peer
+/// hung up cleanly); EOF mid-frame is an I/O error. A read timeout at a
+/// frame boundary surfaces as an I/O error matched by [`is_idle_timeout`];
+/// timeouts mid-frame are waited out instead.
+pub fn read_frame(r: &mut impl Read) -> Result<Bytes, FrameError> {
+    let mut header = [0u8; 4];
+    match r.read(&mut header) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(n) => read_full(r, &mut header, n)?,
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => read_full(r, &mut header, 0)?,
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = Bytes::copy_from_slice(&header).get_u32() as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    read_full(r, &mut payload, 0)?;
+    Ok(Bytes::from(payload))
+}
+
+/// Serializes `msg` as JSON and writes it as one frame.
+pub fn write_message<T: serde::Serialize>(w: &mut impl Write, msg: &T) -> Result<(), FrameError> {
+    let json = serde_json::to_string(msg).map_err(|e| FrameError::Decode(e.to_string()))?;
+    write_frame(w, json.as_bytes())
+}
+
+/// Reads one frame and deserializes its JSON payload.
+pub fn read_message<T: serde::Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+    let payload = read_frame(r)?;
+    serde_json::from_slice(payload.as_ref()).map_err(|e| FrameError::Decode(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(&buf[..4], &[0, 0, 0, 5]);
+        let mut cursor = std::io::Cursor::new(buf);
+        let got = read_frame(&mut cursor).unwrap();
+        assert_eq!(got.as_ref(), b"hello");
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn message_round_trip() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Request::Ping).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let got: Request = read_message(&mut cursor).unwrap();
+        assert_eq!(got, Request::Ping);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        bytes::BufMut::put_u32(&mut buf, (MAX_FRAME_LEN + 1) as u32);
+        buf.extend_from_slice(&[0; 8]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn eof_inside_header_is_io_error() {
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+}

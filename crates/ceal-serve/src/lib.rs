@@ -1,0 +1,57 @@
+//! ceal-serve — the CEAL auto-tuner as a network service.
+//!
+//! The paper's tuner runs one campaign per CLI process; this crate turns
+//! it into a long-lived, concurrent service in the spirit of Collective
+//! Knowledge (shared, reusable autotuning results) and surrogate-serving
+//! systems like HPAC-ML. Four layers:
+//!
+//! * [`protocol`] + [`frame`] + [`client`] — request/response enums on a
+//!   length-prefixed JSON frame protocol, plus a blocking [`Client`].
+//! * [`session`] — incremental tuning campaigns as state machines
+//!   (`Created → CollectingHistory → Bootstrapping → Refining → Done`)
+//!   in a registry with idle eviction.
+//! * [`cache`] — completed campaigns keyed by (workflow, platform
+//!   fingerprint, objective, pool seed, budget, algorithm), persisted as
+//!   checksummed JSON; warm answers spend zero oracle measurements.
+//! * [`server`] + [`metrics`] — the multi-threaded TCP server
+//!   (`std::net` + `ceal-par`), batched surrogate prediction over
+//!   `parallel_map`, per-endpoint counters and latency histograms, and
+//!   graceful shutdown that drains in-flight work.
+//!
+//! ```no_run
+//! use ceal_serve::{Client, Server, ServeConfig, TuneParams};
+//!
+//! let handle = Server::bind(ServeConfig::default()).unwrap().spawn();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let outcome = client
+//!     .tune(TuneParams {
+//!         workflow: "LV".into(),
+//!         objective: "comp".into(),
+//!         budget: 25,
+//!         pool: 500,
+//!         seed: 0,
+//!         algo: "ceal".into(),
+//!     })
+//!     .unwrap();
+//! println!("recommended: {:?}", outcome.best);
+//! client.shutdown().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod frame;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use cache::{platform_fingerprint, AutotuneCache, CacheEntry, CacheKey};
+pub use client::{Client, ClientError, TuneOutcome};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use metrics::{CountingOracle, Endpoint, ServerMetrics};
+pub use protocol::{
+    EndpointStats, MetricsReport, Request, Response, SessionStatus, TuneParams, PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use session::{ServeError, Session, SessionManager};

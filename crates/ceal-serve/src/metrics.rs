@@ -1,0 +1,224 @@
+//! Service observability: per-endpoint counters and latency histograms.
+//!
+//! Everything is lock-free atomics so recording a sample never contends
+//! with request handling; the `metrics` endpoint snapshots whatever the
+//! counters hold at that instant.
+
+use crate::protocol::{EndpointStats, MetricsReport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds, microseconds; the last bucket is
+/// unbounded. Chosen to straddle the service's realistic range: cache hits
+/// land in the first buckets, full tuning campaigns in the last.
+const BUCKET_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Endpoint names, indexed by [`Endpoint`]'s discriminant.
+const ENDPOINT_NAMES: [&str; 10] = [
+    "ping",
+    "tune",
+    "create-session",
+    "advance",
+    "status",
+    "predict",
+    "measure",
+    "push-history",
+    "close-session",
+    "metrics",
+];
+
+/// The service's endpoints, for metrics attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `Ping`.
+    Ping = 0,
+    /// `Tune`.
+    Tune = 1,
+    /// `CreateSession`.
+    CreateSession = 2,
+    /// `Advance`.
+    Advance = 3,
+    /// `Status`.
+    Status = 4,
+    /// `Predict`.
+    Predict = 5,
+    /// `Measure`.
+    Measure = 6,
+    /// `PushHistory`.
+    PushHistory = 7,
+    /// `CloseSession`.
+    CloseSession = 8,
+    /// `Metrics`.
+    Metrics = 9,
+}
+
+#[derive(Default)]
+struct EndpointCounters {
+    count: AtomicU64,
+    errors: AtomicU64,
+    total_us: AtomicU64,
+    buckets: [AtomicU64; 6],
+}
+
+/// All service counters; shared across workers via `Arc`.
+#[derive(Default)]
+pub struct ServerMetrics {
+    endpoints: [EndpointCounters; 10],
+    /// Oracle measurements spent (coupled + solo), across all requests.
+    pub oracle_measurements: AtomicU64,
+    /// Requests answered from the persistent cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that had to run the tuner.
+    pub cache_misses: AtomicU64,
+    /// Sessions opened since startup.
+    pub sessions_created: AtomicU64,
+    /// Sessions evicted for idleness.
+    pub sessions_evicted: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request.
+    pub fn record(&self, endpoint: Endpoint, latency: Duration, is_error: bool) {
+        let c = &self.endpoints[endpoint as usize];
+        c.count.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        c.total_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us < bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        c.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` oracle measurements to the global spend counter.
+    pub fn add_oracle_measurements(&self, n: u64) {
+        self.oracle_measurements.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter into the wire representation. Endpoints
+    /// with no traffic are omitted.
+    pub fn report(&self, active_sessions: u64) -> MetricsReport {
+        let endpoints = self
+            .endpoints
+            .iter()
+            .zip(ENDPOINT_NAMES)
+            .filter(|(c, _)| c.count.load(Ordering::Relaxed) > 0)
+            .map(|(c, name)| EndpointStats {
+                name: name.to_string(),
+                count: c.count.load(Ordering::Relaxed),
+                errors: c.errors.load(Ordering::Relaxed),
+                total_us: c.total_us.load(Ordering::Relaxed),
+                buckets: c
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+            })
+            .collect();
+        MetricsReport {
+            endpoints,
+            oracle_measurements: self.oracle_measurements.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            sessions_created: self.sessions_created.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            active_sessions,
+        }
+    }
+}
+
+/// An [`Oracle`](ceal_core::Oracle) wrapper that counts every measurement
+/// against [`ServerMetrics::oracle_measurements`] — the counter the
+/// warm-cache acceptance test watches to prove a cached answer spent
+/// nothing.
+pub struct CountingOracle<'a> {
+    inner: &'a dyn ceal_core::Oracle,
+    metrics: &'a ServerMetrics,
+}
+
+impl<'a> CountingOracle<'a> {
+    /// Wraps `inner`, billing measurements to `metrics`.
+    pub fn new(inner: &'a dyn ceal_core::Oracle, metrics: &'a ServerMetrics) -> Self {
+        Self { inner, metrics }
+    }
+}
+
+impl ceal_core::Oracle for CountingOracle<'_> {
+    fn spec(&self) -> &ceal_sim::WorkflowSpec {
+        self.inner.spec()
+    }
+
+    fn platform(&self) -> &ceal_sim::Platform {
+        self.inner.platform()
+    }
+
+    fn objective(&self) -> ceal_sim::Objective {
+        self.inner.objective()
+    }
+
+    fn measure(&self, config: &[i64]) -> ceal_core::Measurement {
+        self.metrics.add_oracle_measurements(1);
+        self.inner.measure(config)
+    }
+
+    fn measure_component(&self, component: usize, values: &[i64]) -> ceal_core::SoloMeasurement {
+        self.metrics.add_oracle_measurements(1);
+        self.inner.measure_component(component, values)
+    }
+
+    fn try_measure(
+        &self,
+        config: &[i64],
+    ) -> Result<ceal_core::Measurement, ceal_core::MeasureError> {
+        self.metrics.add_oracle_measurements(1);
+        self.inner.try_measure(config)
+    }
+
+    fn try_measure_component(
+        &self,
+        component: usize,
+        values: &[i64],
+    ) -> Result<ceal_core::SoloMeasurement, ceal_core::MeasureError> {
+        self.metrics.add_oracle_measurements(1);
+        self.inner.try_measure_component(component, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fills_buckets_and_counts() {
+        let m = ServerMetrics::new();
+        m.record(Endpoint::Ping, Duration::from_micros(50), false);
+        m.record(Endpoint::Ping, Duration::from_millis(5), true);
+        m.record(Endpoint::Ping, Duration::from_secs(2), false);
+        let report = m.report(0);
+        assert_eq!(report.endpoints.len(), 1);
+        let ep = &report.endpoints[0];
+        assert_eq!(ep.name, "ping");
+        assert_eq!(ep.count, 3);
+        assert_eq!(ep.errors, 1);
+        assert_eq!(ep.buckets, vec![1, 0, 1, 0, 0, 1]);
+        assert!(ep.total_us >= 2_005_000);
+    }
+
+    #[test]
+    fn untouched_endpoints_are_omitted() {
+        let m = ServerMetrics::new();
+        m.record(Endpoint::Tune, Duration::from_micros(10), false);
+        let report = m.report(3);
+        assert_eq!(report.endpoints.len(), 1);
+        assert_eq!(report.endpoints[0].name, "tune");
+        assert_eq!(report.active_sessions, 3);
+    }
+}

@@ -1,0 +1,301 @@
+//! Wire protocol: the request/response vocabulary of the tuning service.
+//!
+//! Everything on the wire is one JSON document per frame (see
+//! [`crate::frame`]), serialized from these enums with serde's
+//! externally-tagged layout. The protocol is versioned by
+//! [`PROTOCOL_VERSION`]; [`Request::Ping`] echoes it so clients can detect
+//! a mismatched server before doing real work.
+
+use serde::{Deserialize, Serialize};
+
+/// Bumped on any incompatible change to [`Request`] or [`Response`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Parameters shared by one-shot tuning and session creation.
+///
+/// They mirror the `tune` CLI flags one-to-one: a `(workflow, objective,
+/// budget, pool, seed, algo)` tuple fully determines a tuning run, which is
+/// what makes results cacheable across clients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneParams {
+    /// Workflow name: `LV`, `HS`, or `GP`.
+    pub workflow: String,
+    /// Objective: `exec` (execution time) or `comp` (computer time).
+    pub objective: String,
+    /// Coupled workflow-run budget.
+    pub budget: u64,
+    /// Candidate-pool size.
+    pub pool: u64,
+    /// Seed controlling pool sampling and every tuner choice.
+    pub seed: u64,
+    /// Algorithm: `ceal`, `al`, `rs`, `geist`, `alph`, `bo`, or `rl`.
+    pub algo: String,
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness / version check.
+    Ping,
+    /// Run a complete tuning campaign and return the recommendation.
+    /// Answered from the persistent cache when an identical campaign has
+    /// already completed.
+    Tune(TuneParams),
+    /// Open an incremental tuning session.
+    CreateSession {
+        /// Campaign parameters (same vocabulary as [`Request::Tune`]).
+        params: TuneParams,
+        /// Probability in `[0, 1)` that a coupled measurement attempt
+        /// crashes (server-side fault injection for testing collectors).
+        failure_rate: f64,
+        /// Seed for the injected-fault stream.
+        fault_seed: u64,
+    },
+    /// Spend up to `runs` coupled measurements advancing a session through
+    /// its phases.
+    Advance {
+        /// Session ID from [`Response::SessionCreated`].
+        session: u64,
+        /// Maximum coupled runs to spend in this step.
+        runs: u64,
+    },
+    /// Report a session's current phase and progress.
+    Status {
+        /// Session ID.
+        session: u64,
+    },
+    /// Score configurations with a session's trained surrogate (batched,
+    /// fanned out over the server's thread pool).
+    Predict {
+        /// Session ID.
+        session: u64,
+        /// Full parameter vectors to score.
+        configs: Vec<Vec<i64>>,
+    },
+    /// Measure one ad-hoc configuration with a session's oracle. Infeasible
+    /// configurations produce an error frame, never a dead worker.
+    Measure {
+        /// Session ID.
+        session: u64,
+        /// Full parameter vector.
+        config: Vec<i64>,
+    },
+    /// Contribute historical component samples to a session (`D_hist`,
+    /// paper §7.5). Shape mismatches produce an error frame.
+    PushHistory {
+        /// Session ID.
+        session: u64,
+        /// `samples[j]` holds `(values, objective_value)` pairs for
+        /// component `j`.
+        samples: Vec<Vec<(Vec<i64>, f64)>>,
+    },
+    /// Close a session, releasing its state.
+    CloseSession {
+        /// Session ID.
+        session: u64,
+    },
+    /// Per-endpoint counters and latency histograms.
+    Metrics,
+    /// Stop accepting connections, drain in-flight work, and exit the
+    /// serve loop.
+    Shutdown,
+}
+
+/// One session's externally visible progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStatus {
+    /// Session ID.
+    pub session: u64,
+    /// Phase name: `created`, `collecting-history`, `bootstrapping`,
+    /// `refining`, or `done`.
+    pub state: String,
+    /// Coupled runs still available.
+    pub budget_left: u64,
+    /// Coupled measurements taken so far.
+    pub measured: u64,
+    /// Historical component samples held.
+    pub history_samples: u64,
+    /// The surrogate's recommended configuration (once fitted).
+    pub best: Option<Vec<i64>>,
+    /// The surrogate's score for `best` (lower is better).
+    pub best_value: Option<f64>,
+}
+
+/// Latency and error counters for one endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Endpoint name (matches the [`Request`] variant, kebab-case).
+    pub name: String,
+    /// Requests handled.
+    pub count: u64,
+    /// Requests answered with an error frame.
+    pub errors: u64,
+    /// Total handling time, microseconds.
+    pub total_us: u64,
+    /// Latency histogram: `< 100µs, < 1ms, < 10ms, < 100ms, < 1s, ≥ 1s`.
+    pub buckets: Vec<u64>,
+}
+
+/// The `metrics` endpoint's payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Per-endpoint counters, one entry per endpoint that has seen
+    /// traffic.
+    pub endpoints: Vec<EndpointStats>,
+    /// Oracle measurements spent (coupled + solo) across all requests.
+    pub oracle_measurements: u64,
+    /// Tune/session requests answered from the persistent cache.
+    pub cache_hits: u64,
+    /// Tune/session requests that had to run the tuner.
+    pub cache_misses: u64,
+    /// Sessions opened since startup.
+    pub sessions_created: u64,
+    /// Sessions evicted for idleness.
+    pub sessions_evicted: u64,
+    /// Sessions currently live.
+    pub active_sessions: u64,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong {
+        /// Server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Reply to [`Request::Tune`].
+    TuneResult {
+        /// Recommended configuration (full parameter vector).
+        best: Vec<i64>,
+        /// Measured objective value of `best`.
+        best_value: f64,
+        /// Coupled runs the tuner consumed.
+        runs_used: u64,
+        /// Standalone component runs the tuner consumed.
+        component_runs: u64,
+        /// Whether the answer came from the persistent cache.
+        from_cache: bool,
+    },
+    /// Reply to [`Request::CreateSession`].
+    SessionCreated {
+        /// Status of the new session; warm-cache sessions start `done`.
+        status: SessionStatus,
+        /// Whether the session was bootstrapped from the persistent cache
+        /// (surrogate refitted from cached samples, zero oracle spend).
+        from_cache: bool,
+    },
+    /// Reply to [`Request::Advance`] / [`Request::Status`] /
+    /// [`Request::PushHistory`].
+    Session(SessionStatus),
+    /// Reply to [`Request::Predict`]: scores aligned with the request's
+    /// configs (lower predicted value = better).
+    Predictions {
+        /// Predicted objective values.
+        values: Vec<f64>,
+    },
+    /// Reply to [`Request::Measure`].
+    Measured {
+        /// Objective value.
+        value: f64,
+        /// Wall-clock execution time, seconds.
+        exec_time: f64,
+        /// Computer time, core-hours.
+        computer_time: f64,
+    },
+    /// Reply to [`Request::Metrics`].
+    Metrics(MetricsReport),
+    /// Generic acknowledgement (close, shutdown).
+    Ok,
+    /// Any failure: the request was understood but could not be served.
+    /// The connection stays usable.
+    Error {
+        /// Stable machine-readable code: `bad-request`, `unknown-session`,
+        /// `not-ready`, `infeasible`, `measurement-failed`,
+        /// `history-mismatch`, `shutting-down`, or `internal`.
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_json() {
+        let reqs = vec![
+            Request::Ping,
+            Request::Tune(TuneParams {
+                workflow: "LV".into(),
+                objective: "comp".into(),
+                budget: 25,
+                pool: 500,
+                seed: 7,
+                algo: "ceal".into(),
+            }),
+            Request::Advance {
+                session: 3,
+                runs: 10,
+            },
+            Request::Predict {
+                session: 3,
+                configs: vec![vec![100, 20, 1, 50, 10, 1]],
+            },
+            Request::PushHistory {
+                session: 3,
+                samples: vec![vec![(vec![4, 2], 1.5)], vec![]],
+            },
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req, "round trip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips_through_json() {
+        let resps = vec![
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+            },
+            Response::TuneResult {
+                best: vec![18, 18, 2, 18, 18, 2],
+                best_value: 1.25,
+                runs_used: 25,
+                component_runs: 40,
+                from_cache: true,
+            },
+            Response::Session(SessionStatus {
+                session: 1,
+                state: "refining".into(),
+                budget_left: 5,
+                measured: 20,
+                history_samples: 12,
+                best: Some(vec![1, 2]),
+                best_value: Some(0.5),
+            }),
+            Response::Session(SessionStatus {
+                session: 2,
+                state: "created".into(),
+                budget_left: 25,
+                measured: 0,
+                history_samples: 0,
+                best: None,
+                best_value: None,
+            }),
+            Response::Error {
+                code: "infeasible".into(),
+                message: "nope".into(),
+            },
+        ];
+        for resp in resps {
+            let json = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, resp, "round trip failed for {json}");
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The TCP service: accept loop, worker pool, dispatch, graceful shutdown.
+//!
+//! Connections are handed to a fixed [`ceal_par::ThreadPool`]; each worker
+//! speaks the framed protocol until the peer hangs up. Request handling is
+//! wrapped in `catch_unwind`, so a panic (a bug, or an oracle hitting an
+//! unguarded path) answers one client with an `internal` error frame
+//! instead of killing a worker. Shutdown is graceful: the `Shutdown`
+//! request flips a flag, a self-connection unblocks the accept loop, and
+//! [`Server::run`] returns only after every in-flight connection drains.
+
+use crate::cache::{AutotuneCache, CacheEntry};
+use crate::frame::{is_idle_timeout, read_message, write_message, FrameError};
+use crate::metrics::{CountingOracle, Endpoint, ServerMetrics};
+use crate::protocol::{Request, Response, TuneParams, PROTOCOL_VERSION};
+use crate::session::{
+    cache_key, parse_params, ServeError, Session, SessionManager, ORACLE_BASE_SEED,
+};
+use ceal_core::{
+    sample_pool, ActiveLearning, Alph, Autotuner, BanditTuner, BayesOpt, Ceal, CealParams, Geist,
+    Oracle, PoolOracle, RandomSampling, SimOracle,
+};
+use ceal_sim::Simulator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS pick one.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Sessions idle longer than this are evicted.
+    pub idle_timeout: Duration,
+    /// Persistent cache location; `None` keeps the cache in memory only.
+    pub cache_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            idle_timeout: Duration::from_secs(600),
+            cache_path: None,
+        }
+    }
+}
+
+/// How often an idle connection wakes up to check the shutdown flag.
+const IDLE_TICK: Duration = Duration::from_millis(200);
+
+struct ServerInner {
+    sessions: SessionManager,
+    cache: AutotuneCache,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A bound-but-not-yet-serving tuning service.
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    inner: Arc<ServerInner>,
+}
+
+impl Server {
+    /// Binds the listener and loads the cache. Serving starts with
+    /// [`Server::run`] or [`Server::spawn`].
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = match &config.cache_path {
+            Some(path) => AutotuneCache::at_path(path),
+            None => AutotuneCache::in_memory(),
+        };
+        Ok(Server {
+            listener,
+            workers: config.workers.max(1),
+            inner: Arc::new(ServerInner {
+                sessions: SessionManager::new(config.idle_timeout),
+                cache,
+                metrics: ServerMetrics::new(),
+                shutdown: AtomicBool::new(false),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when binding to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Serves until a `Shutdown` request arrives, then drains in-flight
+    /// connections and returns.
+    pub fn run(self) -> std::io::Result<()> {
+        let pool = ceal_par::ThreadPool::new(self.workers);
+        let wg = ceal_par::WaitGroup::new();
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            self.inner.sessions.evict_idle(&self.inner.metrics);
+            let inner = Arc::clone(&self.inner);
+            pool.execute_tracked(&wg, move || handle_connection(stream, inner));
+        }
+        // Drain: every accepted connection finishes its in-flight request
+        // (workers see the shutdown flag at their next frame boundary).
+        wg.wait();
+        drop(pool);
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle with the
+    /// bound address.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let thread = std::thread::Builder::new()
+            .name("ceal-serve-accept".into())
+            .spawn(move || self.run())
+            .expect("failed to spawn server thread");
+        ServerHandle { addr, thread }
+    }
+}
+
+/// A running background server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the serve loop to exit (after a `Shutdown` request).
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread
+            .join()
+            .map_err(|_| std::io::Error::other("server thread panicked"))?
+    }
+}
+
+fn endpoint_of(req: &Request) -> Endpoint {
+    match req {
+        Request::Ping => Endpoint::Ping,
+        Request::Tune(_) => Endpoint::Tune,
+        Request::CreateSession { .. } => Endpoint::CreateSession,
+        Request::Advance { .. } => Endpoint::Advance,
+        Request::Status { .. } => Endpoint::Status,
+        Request::Predict { .. } => Endpoint::Predict,
+        Request::Measure { .. } => Endpoint::Measure,
+        Request::PushHistory { .. } => Endpoint::PushHistory,
+        Request::CloseSession { .. } => Endpoint::CloseSession,
+        Request::Metrics | Request::Shutdown => Endpoint::Metrics,
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, inner: Arc<ServerInner>) {
+    let _ = stream.set_read_timeout(Some(IDLE_TICK));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let req: Request = match read_message(&mut stream) {
+            Ok(req) => req,
+            Err(FrameError::Closed) => return,
+            Err(ref e) if is_idle_timeout(e) => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                // A malformed frame means we've lost sync with the peer:
+                // answer once, then close.
+                let _ = write_message(
+                    &mut stream,
+                    &Response::Error {
+                        code: "bad-request".into(),
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let endpoint = endpoint_of(&req);
+        let start = Instant::now();
+        let resp = catch_unwind(AssertUnwindSafe(|| dispatch(req, &inner))).unwrap_or_else(|p| {
+            let detail = p
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| p.downcast_ref::<&str>().copied())
+                .unwrap_or("handler panicked");
+            Response::Error {
+                code: "internal".into(),
+                message: detail.to_string(),
+            }
+        });
+        let is_error = matches!(resp, Response::Error { .. });
+        inner.metrics.record(endpoint, start.elapsed(), is_error);
+        if write_message(&mut stream, &resp).is_err() {
+            return;
+        }
+        if is_shutdown && !is_error {
+            // Unblock the accept loop so `run` can start draining.
+            let _ = TcpStream::connect(inner.addr);
+            return;
+        }
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+fn error_frame(e: ServeError) -> Response {
+    Response::Error {
+        code: e.code().into(),
+        message: e.to_string(),
+    }
+}
+
+fn ok_or_error<T>(result: Result<T, ServeError>, into: impl FnOnce(T) -> Response) -> Response {
+    match result {
+        Ok(v) => into(v),
+        Err(e) => error_frame(e),
+    }
+}
+
+fn dispatch(req: Request, inner: &ServerInner) -> Response {
+    let draining = inner.shutdown.load(Ordering::Acquire);
+    if draining && matches!(req, Request::Tune(_) | Request::CreateSession { .. }) {
+        return error_frame(ServeError::ShuttingDown);
+    }
+    match req {
+        Request::Ping => Response::Pong {
+            version: PROTOCOL_VERSION,
+        },
+        Request::Tune(params) => ok_or_error(tune(params, inner), |r| r),
+        Request::CreateSession {
+            params,
+            failure_rate,
+            fault_seed,
+        } => ok_or_error(
+            inner.sessions.create(
+                params,
+                failure_rate,
+                fault_seed,
+                &inner.cache,
+                &inner.metrics,
+            ),
+            |(status, from_cache)| Response::SessionCreated { status, from_cache },
+        ),
+        Request::Advance { session, runs } => ok_or_error(
+            with_session(inner, session, |s| {
+                s.advance(runs, &inner.cache, &inner.metrics)
+            }),
+            Response::Session,
+        ),
+        Request::Status { session } => ok_or_error(
+            with_session(inner, session, |s| Ok(s.status())),
+            Response::Session,
+        ),
+        Request::Predict { session, configs } => ok_or_error(
+            with_session(inner, session, |s| s.predict(&configs)),
+            |values| Response::Predictions { values },
+        ),
+        Request::Measure { session, config } => ok_or_error(
+            with_session(inner, session, |s| s.measure(&config, &inner.metrics)),
+            |m| Response::Measured {
+                value: m.value,
+                exec_time: m.exec_time,
+                computer_time: m.computer_time,
+            },
+        ),
+        Request::PushHistory { session, samples } => ok_or_error(
+            with_session(inner, session, |s| s.push_history(samples)),
+            Response::Session,
+        ),
+        Request::CloseSession { session } => {
+            ok_or_error(inner.sessions.close(session), |()| Response::Ok)
+        }
+        Request::Metrics => Response::Metrics(inner.metrics.report(inner.sessions.len() as u64)),
+        Request::Shutdown => {
+            inner.shutdown.store(true, Ordering::Release);
+            Response::Ok
+        }
+    }
+}
+
+fn with_session<T>(
+    inner: &ServerInner,
+    id: u64,
+    f: impl FnOnce(&mut Session) -> Result<T, ServeError>,
+) -> Result<T, ServeError> {
+    let handle = inner.sessions.get(id)?;
+    let mut session = handle.lock();
+    f(&mut session)
+}
+
+/// Builds the comparison-algorithm dispatch used by the `tune` CLI, minus
+/// the history variants (remote campaigns carry no history file).
+fn make_algo(name: &str) -> Box<dyn Autotuner> {
+    match name {
+        "ceal" => Box::new(Ceal::new(CealParams::without_history())),
+        "al" => Box::new(ActiveLearning::default()),
+        "rs" => Box::new(RandomSampling),
+        "geist" => Box::new(Geist::default()),
+        "alph" => Box::new(Alph::new()),
+        "bo" => Box::new(BayesOpt::bootstrapped(None)),
+        "rl" => Box::new(BanditTuner::bootstrapped(None)),
+        other => unreachable!("algorithm '{other}' validated by parse_params"),
+    }
+}
+
+/// One-shot tuning, replicating the `tune` CLI's construction exactly so a
+/// remote campaign returns the same recommendation as a local one with the
+/// same seed.
+fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError> {
+    let (spec, objective) = parse_params(&params)?;
+    let key = cache_key(&params, &Simulator::new().platform, "tune");
+    if let Some(entry) = inner.cache.get(&key) {
+        inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(Response::TuneResult {
+            best: entry.best,
+            best_value: entry.best_value,
+            runs_used: entry.runs_used,
+            component_runs: entry.component_runs,
+            from_cache: true,
+        });
+    }
+    inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let sim = Simulator::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0xFACE);
+    let pool = sample_pool(&spec, &sim.platform, params.pool as usize, &mut rng);
+    let oracle = PoolOracle::precompute(
+        SimOracle::new(sim, spec, objective, ORACLE_BASE_SEED),
+        &pool,
+    );
+    let counting = CountingOracle::new(&oracle, &inner.metrics);
+    let algo = make_algo(&params.algo);
+    let run = algo.run(&counting, &pool, params.budget as usize, params.seed);
+    let tuned = counting.measure(&run.best_predicted);
+
+    let entry = CacheEntry {
+        key,
+        best: run.best_predicted.clone(),
+        best_value: tuned.value,
+        runs_used: run.runs_used() as u64,
+        component_runs: run.component_runs.len() as u64,
+        samples: run
+            .measured
+            .iter()
+            .map(|m| (m.config.clone(), m.value))
+            .collect(),
+    };
+    if let Err(e) = inner.cache.put(entry) {
+        eprintln!("warning: cache persistence failed: {e}");
+    }
+    let runs_used = run.runs_used() as u64;
+    let component_runs = run.component_runs.len() as u64;
+    Ok(Response::TuneResult {
+        best: run.best_predicted,
+        best_value: tuned.value,
+        runs_used,
+        component_runs,
+        from_cache: false,
+    })
+}

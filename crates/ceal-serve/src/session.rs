@@ -1,0 +1,752 @@
+//! Incremental tuning sessions.
+//!
+//! A session is one tuning campaign driven by explicit client steps, so
+//! budget is spent a few measurements at a time instead of in one blocking
+//! request. Each session is a state machine:
+//!
+//! ```text
+//! Created → CollectingHistory → Bootstrapping → Refining → Done
+//! ```
+//!
+//! *CollectingHistory* gathers free solo component samples (`D_hist`,
+//! §7.5); *Bootstrapping* measures an initial batch of coupled
+//! configurations; *Refining* alternates surrogate fits with measurements
+//! of the most promising unmeasured pool configurations until the budget
+//! is spent; *Done* exposes the final surrogate for batched prediction.
+//!
+//! Sessions live in a [`SessionManager`] registry guarded by `parking_lot`
+//! locks, carry per-session IDs, and are evicted after an idle timeout.
+
+use crate::cache::{platform_fingerprint, AutotuneCache, CacheEntry, CacheKey};
+use crate::metrics::{CountingOracle, ServerMetrics};
+use crate::protocol::{SessionStatus, TuneParams};
+use ceal_core::algorithms::SurrogateKind;
+use ceal_core::{
+    fit_surrogate_samples, sample_pool, ComponentHistory, FaultInjector, FeatureMap, MeasureError,
+    Oracle, SimOracle,
+};
+use ceal_ml::Regressor;
+use ceal_sim::{Objective, Simulator, WorkflowSpec};
+use parking_lot::{Mutex, RwLock};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Base seed of every server-side oracle — matches the `tune` CLI so a
+/// remote campaign reproduces the local one exactly.
+pub(crate) const ORACLE_BASE_SEED: u64 = 2021;
+
+/// Upper bounds protecting the server from absurd requests.
+const MAX_POOL: u64 = 100_000;
+const MAX_BUDGET: u64 = 10_000;
+
+/// Solo samples collected per configurable component in the
+/// history-collection phase.
+const HISTORY_PER_COMPONENT: usize = 4;
+
+/// A request-level failure the server reports as an error frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Malformed or out-of-range request parameters.
+    BadRequest(String),
+    /// No session with that ID (never created, closed, or evicted).
+    UnknownSession(u64),
+    /// The session cannot serve this request in its current phase.
+    NotReady(String),
+    /// The configuration cannot run on this platform.
+    Infeasible(String),
+    /// A measurement attempt crashed (injected fault or backend failure);
+    /// the session is intact and the step can be retried.
+    MeasurementFailed(String),
+    /// Client-supplied history has the wrong shape.
+    HistoryMismatch(String),
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// A handler panicked; the failure was contained to this request.
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code for the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::BadRequest(_) => "bad-request",
+            Self::UnknownSession(_) => "unknown-session",
+            Self::NotReady(_) => "not-ready",
+            Self::Infeasible(_) => "infeasible",
+            Self::MeasurementFailed(_) => "measurement-failed",
+            Self::HistoryMismatch(_) => "history-mismatch",
+            Self::ShuttingDown => "shutting-down",
+            Self::Internal(_) => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadRequest(m) => write!(f, "bad request: {m}"),
+            Self::UnknownSession(id) => write!(f, "unknown session {id}"),
+            Self::NotReady(m) => write!(f, "not ready: {m}"),
+            Self::Infeasible(m) => write!(f, "infeasible configuration: {m}"),
+            Self::MeasurementFailed(m) => write!(f, "measurement failed: {m}"),
+            Self::HistoryMismatch(m) => write!(f, "history mismatch: {m}"),
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Parses and validates the shared campaign parameters.
+pub(crate) fn parse_params(p: &TuneParams) -> Result<(WorkflowSpec, Objective), ServeError> {
+    let spec = ceal_apps::workflow_by_name(&p.workflow)
+        .ok_or_else(|| ServeError::BadRequest(format!("unknown workflow '{}'", p.workflow)))?;
+    let objective = match p.objective.as_str() {
+        "exec" => Objective::ExecutionTime,
+        "comp" => Objective::ComputerTime,
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unknown objective '{other}' (want exec|comp)"
+            )))
+        }
+    };
+    const ALGOS: [&str; 7] = ["ceal", "al", "rs", "geist", "alph", "bo", "rl"];
+    if !ALGOS.contains(&p.algo.as_str()) {
+        return Err(ServeError::BadRequest(format!(
+            "unknown algorithm '{}'",
+            p.algo
+        )));
+    }
+    if p.budget == 0 || p.budget > MAX_BUDGET {
+        return Err(ServeError::BadRequest(format!(
+            "budget {} out of range 1..={MAX_BUDGET}",
+            p.budget
+        )));
+    }
+    if p.pool < 10 || p.pool > MAX_POOL {
+        return Err(ServeError::BadRequest(format!(
+            "pool size {} out of range 10..={MAX_POOL}",
+            p.pool
+        )));
+    }
+    Ok((spec, objective))
+}
+
+/// Cache key for a campaign; `mode` separates the one-shot `Tune` path
+/// from incremental sessions, which use different search code.
+pub(crate) fn cache_key(
+    params: &TuneParams,
+    platform: &ceal_sim::Platform,
+    mode: &str,
+) -> CacheKey {
+    CacheKey {
+        workflow: params.workflow.to_ascii_uppercase(),
+        platform: platform_fingerprint(platform),
+        objective: params.objective.clone(),
+        pool: params.pool,
+        seed: params.seed,
+        budget: params.budget,
+        algo: format!("{mode}:{}", params.algo),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Created,
+    CollectingHistory,
+    Bootstrapping,
+    Refining,
+    Done,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Self::Created => "created",
+            Self::CollectingHistory => "collecting-history",
+            Self::Bootstrapping => "bootstrapping",
+            Self::Refining => "refining",
+            Self::Done => "done",
+        }
+    }
+}
+
+/// One live tuning campaign.
+pub struct Session {
+    id: u64,
+    params: TuneParams,
+    oracle: SimOracle,
+    pool: Vec<Vec<i64>>,
+    fm: FeatureMap,
+    phase: Phase,
+    budget_left: u64,
+    /// Initial coupled batch size before surrogate-guided refinement.
+    n0: u64,
+    measured: Vec<(Vec<i64>, f64)>,
+    measured_idx: Vec<bool>,
+    history: ComponentHistory,
+    surrogate: Option<Box<dyn Regressor>>,
+    best: Option<(Vec<i64>, f64)>,
+    failure_rate: f64,
+    fault_seed: u64,
+    /// Monotonic measurement-attempt counter feeding the fault injector:
+    /// retrying a failed step uses a fresh attempt number, so injected
+    /// faults are transient exactly like the crashes they model.
+    attempt: u64,
+    last_touch: Instant,
+}
+
+impl Session {
+    fn new(id: u64, params: TuneParams, failure_rate: f64, fault_seed: u64) -> Session {
+        let (spec, objective) = parse_params(&params).expect("params validated by caller");
+        let sim = Simulator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0xFACE);
+        let pool = sample_pool(&spec, &sim.platform, params.pool as usize, &mut rng);
+        let fm = FeatureMap::for_workflow(&spec);
+        let n_components = spec.components.len();
+        let oracle = SimOracle::new(sim, spec, objective, ORACLE_BASE_SEED);
+        let n0 = params.budget.div_ceil(5).max(2).min(params.budget);
+        let budget = params.budget;
+        Session {
+            id,
+            params,
+            oracle,
+            measured_idx: vec![false; pool.len()],
+            pool,
+            fm,
+            phase: Phase::Created,
+            budget_left: budget,
+            n0,
+            measured: Vec::new(),
+            history: ComponentHistory::empty(n_components),
+            surrogate: None,
+            best: None,
+            failure_rate: failure_rate.clamp(0.0, 0.999),
+            fault_seed,
+            attempt: 0,
+            last_touch: Instant::now(),
+        }
+    }
+
+    /// Rebuilds a completed campaign from a cache entry: surrogate refitted
+    /// from the cached samples, no oracle spend.
+    fn from_cache(id: u64, params: TuneParams, entry: &CacheEntry) -> Session {
+        let mut s = Session::new(id, params, 0.0, 0);
+        s.measured = entry.samples.clone();
+        for (cfg, _) in &s.measured {
+            if let Some(i) = s.pool.iter().position(|c| c == cfg) {
+                s.measured_idx[i] = true;
+            }
+        }
+        if !s.measured.is_empty() {
+            s.surrogate = Some(fit_surrogate_samples(
+                SurrogateKind::BoostedTrees,
+                &s.fm,
+                &s.measured,
+                s.params.seed,
+            ));
+        }
+        s.best = Some((entry.best.clone(), entry.best_value));
+        s.phase = Phase::Done;
+        s
+    }
+
+    /// The externally visible state.
+    pub fn status(&self) -> SessionStatus {
+        SessionStatus {
+            session: self.id,
+            state: self.phase.name().to_string(),
+            budget_left: self.budget_left,
+            measured: self.measured.len() as u64,
+            history_samples: self.history.total_samples() as u64,
+            best: self.best.as_ref().map(|(c, _)| c.clone()),
+            best_value: self.best.as_ref().map(|&(_, v)| v),
+        }
+    }
+
+    fn arity_check(&self, config: &[i64]) -> Result<(), ServeError> {
+        if config.len() != self.fm.n_features() {
+            return Err(ServeError::BadRequest(format!(
+                "configuration has {} values, workflow {} takes {}",
+                config.len(),
+                self.params.workflow,
+                self.fm.n_features()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Measures pool configuration `idx`, routing through the fault
+    /// injector when this session was created with a failure rate.
+    fn measure_pool_config(
+        &mut self,
+        idx: usize,
+        metrics: &ServerMetrics,
+    ) -> Result<f64, ServeError> {
+        self.attempt += 1;
+        let attempt = self.attempt;
+        let cfg = self.pool[idx].clone();
+        let value = if self.failure_rate > 0.0 {
+            let injector = FaultInjector::new(&self.oracle, self.failure_rate, self.fault_seed);
+            let m = injector
+                .try_measure(&cfg, attempt)
+                .map_err(|e| ServeError::MeasurementFailed(e.to_string()))?;
+            metrics.add_oracle_measurements(1);
+            m.value
+        } else {
+            CountingOracle::new(&self.oracle, metrics)
+                .try_measure(&cfg)
+                .map_err(|e| ServeError::MeasurementFailed(e.to_string()))?
+                .value
+        };
+        self.measured_idx[idx] = true;
+        self.measured.push((cfg, value));
+        self.budget_left -= 1;
+        Ok(value)
+    }
+
+    fn fit_and_score(&mut self) {
+        let model = fit_surrogate_samples(
+            SurrogateKind::BoostedTrees,
+            &self.fm,
+            &self.measured,
+            self.params.seed,
+        );
+        let scores: Vec<f64> =
+            ceal_par::parallel_map(&self.pool, |c| model.predict_row(&self.fm.encode(c)));
+        let mut best_i = 0;
+        for (i, s) in scores.iter().enumerate() {
+            if s < &scores[best_i] {
+                best_i = i;
+            }
+        }
+        self.best = Some((self.pool[best_i].clone(), scores[best_i]));
+        self.surrogate = Some(model);
+    }
+
+    /// Indices of the `k` best-scoring unmeasured pool configurations
+    /// under the current surrogate.
+    fn top_unmeasured(&self, k: usize) -> Vec<usize> {
+        let model = self.surrogate.as_ref().expect("surrogate fitted");
+        let scores: Vec<f64> =
+            ceal_par::parallel_map(&self.pool, |c| model.predict_row(&self.fm.encode(c)));
+        let mut idx: Vec<usize> = (0..self.pool.len())
+            .filter(|&i| !self.measured_idx[i])
+            .collect();
+        idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+        idx.truncate(k);
+        idx
+    }
+
+    /// One random unmeasured pool index, deterministic in the number of
+    /// measurements taken so far — a retry after an injected fault picks
+    /// the same configuration again.
+    fn random_unmeasured(&self) -> Option<usize> {
+        let free: Vec<usize> = (0..self.pool.len())
+            .filter(|&i| !self.measured_idx[i])
+            .collect();
+        if free.is_empty() {
+            return None;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.params.seed ^ 0xB007 ^ ((self.measured.len() as u64) << 8),
+        );
+        Some(free[rng.gen_range(0..free.len())])
+    }
+
+    /// Advances the campaign, spending at most `runs` coupled
+    /// measurements. Each call executes at most one phase so clients
+    /// observe every state.
+    pub fn advance(
+        &mut self,
+        runs: u64,
+        cache: &AutotuneCache,
+        metrics: &ServerMetrics,
+    ) -> Result<SessionStatus, ServeError> {
+        if runs == 0 {
+            return Err(ServeError::BadRequest("advance of 0 runs".into()));
+        }
+        match self.phase {
+            Phase::Created => {
+                // Historical solo samples are free (§7.5): they model data
+                // the components' owners already had.
+                let counting = CountingOracle::new(&self.oracle, metrics);
+                let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed ^ 0xD157);
+                let collected =
+                    ComponentHistory::collect(&counting, HISTORY_PER_COMPONENT, &mut rng);
+                self.history
+                    .merge(&collected)
+                    .map_err(|e| ServeError::Internal(e.to_string()))?;
+                self.phase = Phase::CollectingHistory;
+            }
+            Phase::CollectingHistory => {
+                self.phase = Phase::Bootstrapping;
+                return self.advance(runs, cache, metrics);
+            }
+            Phase::Bootstrapping => {
+                let target = self.n0.saturating_sub(self.measured.len() as u64);
+                let spend = runs.min(target).min(self.budget_left);
+                for _ in 0..spend {
+                    let Some(idx) = self.random_unmeasured() else {
+                        break;
+                    };
+                    self.measure_pool_config(idx, metrics)?;
+                }
+                if self.measured.len() as u64 >= self.n0 || self.budget_left == 0 {
+                    self.fit_and_score();
+                    self.phase = Phase::Refining;
+                }
+            }
+            Phase::Refining => {
+                let spend = runs.min(self.budget_left) as usize;
+                for idx in self.top_unmeasured(spend) {
+                    self.measure_pool_config(idx, metrics)?;
+                }
+                self.fit_and_score();
+                if self.budget_left == 0 {
+                    self.phase = Phase::Done;
+                    self.finish(cache);
+                }
+            }
+            Phase::Done => {}
+        }
+        Ok(self.status())
+    }
+
+    /// Publishes the completed campaign to the shared cache.
+    fn finish(&self, cache: &AutotuneCache) {
+        let Some((best, best_value)) = self.best.clone() else {
+            return;
+        };
+        let entry = CacheEntry {
+            key: cache_key(&self.params, &self.oracle.simulator().platform, "session"),
+            best,
+            best_value,
+            runs_used: self.measured.len() as u64,
+            component_runs: self.history.total_samples() as u64,
+            samples: self.measured.clone(),
+        };
+        if let Err(e) = cache.put(entry) {
+            eprintln!("warning: cache persistence failed: {e}");
+        }
+    }
+
+    /// Scores `configs` with the trained surrogate, fanned out over the
+    /// worker pool.
+    pub fn predict(&self, configs: &[Vec<i64>]) -> Result<Vec<f64>, ServeError> {
+        let Some(model) = self.surrogate.as_ref() else {
+            return Err(ServeError::NotReady(format!(
+                "no surrogate fitted yet (state {})",
+                self.phase.name()
+            )));
+        };
+        for cfg in configs {
+            self.arity_check(cfg)?;
+        }
+        Ok(ceal_par::parallel_map(configs, |c| {
+            model.predict_row(&self.fm.encode(c))
+        }))
+    }
+
+    /// Measures one ad-hoc configuration. Infeasible configurations come
+    /// back as [`ServeError::Infeasible`], not a panic.
+    pub fn measure(
+        &mut self,
+        config: &[i64],
+        metrics: &ServerMetrics,
+    ) -> Result<ceal_core::Measurement, ServeError> {
+        self.arity_check(config)?;
+        CountingOracle::new(&self.oracle, metrics)
+            .try_measure(config)
+            .map_err(|e| match e {
+                MeasureError::Sim(e) => ServeError::Infeasible(e.to_string()),
+                MeasureError::Failed(m) => ServeError::MeasurementFailed(m),
+            })
+    }
+
+    /// Merges client-supplied historical component samples.
+    pub fn push_history(
+        &mut self,
+        samples: Vec<Vec<(Vec<i64>, f64)>>,
+    ) -> Result<SessionStatus, ServeError> {
+        let incoming = ComponentHistory { samples };
+        self.history
+            .merge(&incoming)
+            .map_err(|e| ServeError::HistoryMismatch(e.to_string()))?;
+        Ok(self.status())
+    }
+
+    fn touch(&mut self) {
+        self.last_touch = Instant::now();
+    }
+}
+
+/// The registry of live sessions.
+pub struct SessionManager {
+    sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
+    next_id: AtomicU64,
+    idle_timeout: Duration,
+}
+
+impl SessionManager {
+    /// Creates an empty registry evicting sessions idle longer than
+    /// `idle_timeout`.
+    pub fn new(idle_timeout: Duration) -> Self {
+        Self {
+            sessions: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            idle_timeout,
+        }
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Opens a session; warm-cache campaigns start in `done` with their
+    /// surrogate refitted from cached samples. Returns the status and
+    /// whether the cache supplied it.
+    pub fn create(
+        &self,
+        params: TuneParams,
+        failure_rate: f64,
+        fault_seed: u64,
+        cache: &AutotuneCache,
+        metrics: &ServerMetrics,
+    ) -> Result<(SessionStatus, bool), ServeError> {
+        parse_params(&params)?;
+        if !(0.0..1.0).contains(&failure_rate) {
+            return Err(ServeError::BadRequest(format!(
+                "failure rate {failure_rate} outside [0, 1)"
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let key = cache_key(&params, &Simulator::new().platform, "session");
+        let (session, from_cache) = match cache.get(&key) {
+            Some(entry) => {
+                metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                (Session::from_cache(id, params, &entry), true)
+            }
+            None => {
+                metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                (Session::new(id, params, failure_rate, fault_seed), false)
+            }
+        };
+        let status = session.status();
+        self.sessions
+            .write()
+            .insert(id, Arc::new(Mutex::new(session)));
+        metrics.sessions_created.fetch_add(1, Ordering::Relaxed);
+        Ok((status, from_cache))
+    }
+
+    /// Fetches a session, refreshing its idle clock.
+    pub fn get(&self, id: u64) -> Result<Arc<Mutex<Session>>, ServeError> {
+        let handle = self
+            .sessions
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(ServeError::UnknownSession(id))?;
+        handle.lock().touch();
+        Ok(handle)
+    }
+
+    /// Closes a session.
+    pub fn close(&self, id: u64) -> Result<(), ServeError> {
+        self.sessions
+            .write()
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(ServeError::UnknownSession(id))
+    }
+
+    /// Drops sessions idle longer than the timeout; returns how many.
+    pub fn evict_idle(&self, metrics: &ServerMetrics) -> usize {
+        let mut sessions = self.sessions.write();
+        let before = sessions.len();
+        sessions.retain(|_, s| match s.try_lock() {
+            // A locked session is in use — by definition not idle.
+            None => true,
+            Some(guard) => guard.last_touch.elapsed() <= self.idle_timeout,
+        });
+        let evicted = before - sessions.len();
+        metrics
+            .sessions_evicted
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(budget: u64) -> TuneParams {
+        TuneParams {
+            workflow: "LV".into(),
+            objective: "exec".into(),
+            budget,
+            pool: 60,
+            seed: 3,
+            algo: "ceal".into(),
+        }
+    }
+
+    fn ctx() -> (SessionManager, AutotuneCache, ServerMetrics) {
+        (
+            SessionManager::new(Duration::from_secs(3600)),
+            AutotuneCache::in_memory(),
+            ServerMetrics::new(),
+        )
+    }
+
+    #[test]
+    fn session_walks_the_phases_to_done() {
+        let (mgr, cache, metrics) = ctx();
+        let (status, from_cache) = mgr.create(params(8), 0.0, 0, &cache, &metrics).unwrap();
+        assert!(!from_cache);
+        assert_eq!(status.state, "created");
+        let handle = mgr.get(status.session).unwrap();
+        let mut s = handle.lock();
+        let st = s.advance(4, &cache, &metrics).unwrap();
+        assert_eq!(st.state, "collecting-history");
+        assert_eq!(st.budget_left, 8);
+        assert!(st.history_samples > 0, "history phase collects samples");
+        let mut st = s.advance(4, &cache, &metrics).unwrap();
+        assert_eq!(st.state, "refining");
+        while st.state != "done" {
+            st = s.advance(3, &cache, &metrics).unwrap();
+        }
+        assert_eq!(st.budget_left, 0);
+        assert_eq!(st.measured, 8);
+        assert!(st.best.is_some());
+        // Done is terminal and idempotent.
+        assert_eq!(s.advance(1, &cache, &metrics).unwrap().state, "done");
+        // The finished campaign was published to the cache.
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn warm_cache_session_starts_done_with_zero_oracle_spend() {
+        let (mgr, cache, metrics) = ctx();
+        let (st, _) = mgr.create(params(6), 0.0, 0, &cache, &metrics).unwrap();
+        let handle = mgr.get(st.session).unwrap();
+        {
+            let mut s = handle.lock();
+            let mut st = s.advance(6, &cache, &metrics).unwrap();
+            while st.state != "done" {
+                st = s.advance(6, &cache, &metrics).unwrap();
+            }
+        }
+        let cold_spend = metrics.oracle_measurements.load(Ordering::Relaxed);
+        assert!(cold_spend > 0);
+
+        let (warm, from_cache) = mgr.create(params(6), 0.0, 0, &cache, &metrics).unwrap();
+        assert!(from_cache);
+        assert_eq!(warm.state, "done");
+        assert_eq!(
+            metrics.oracle_measurements.load(Ordering::Relaxed),
+            cold_spend,
+            "warm session must not touch the oracle"
+        );
+        // And its surrogate serves predictions.
+        let handle = mgr.get(warm.session).unwrap();
+        let preds = handle
+            .lock()
+            .predict(&[warm.best.clone().unwrap()])
+            .unwrap();
+        assert_eq!(preds.len(), 1);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_retryable_errors() {
+        let (mgr, cache, metrics) = ctx();
+        let (st, _) = mgr.create(params(6), 0.45, 17, &cache, &metrics).unwrap();
+        let handle = mgr.get(st.session).unwrap();
+        let mut s = handle.lock();
+        let mut failures = 0u32;
+        let mut state = s.advance(6, &cache, &metrics).unwrap().state;
+        for _ in 0..200 {
+            if state == "done" {
+                break;
+            }
+            match s.advance(2, &cache, &metrics) {
+                Ok(st) => state = st.state,
+                Err(ServeError::MeasurementFailed(_)) => failures += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(state, "done", "retries must eventually finish");
+        assert!(failures > 0, "fixture should observe injected faults");
+    }
+
+    #[test]
+    fn measure_rejects_infeasible_and_wrong_arity() {
+        let (mgr, cache, metrics) = ctx();
+        let (st, _) = mgr.create(params(4), 0.0, 0, &cache, &metrics).unwrap();
+        let handle = mgr.get(st.session).unwrap();
+        let mut s = handle.lock();
+        let err = s.measure(&[1085, 1, 1, 1085, 1, 1], &metrics).unwrap_err();
+        assert_eq!(err.code(), "infeasible");
+        let err = s.measure(&[1, 2, 3], &metrics).unwrap_err();
+        assert_eq!(err.code(), "bad-request");
+        assert!(s.measure(&[100, 20, 1, 50, 10, 1], &metrics).is_ok());
+        let _ = cache;
+    }
+
+    #[test]
+    fn push_history_validates_shape() {
+        let (mgr, cache, metrics) = ctx();
+        let (st, _) = mgr.create(params(4), 0.0, 0, &cache, &metrics).unwrap();
+        let handle = mgr.get(st.session).unwrap();
+        let mut s = handle.lock();
+        let err = s.push_history(vec![vec![]]).unwrap_err();
+        assert_eq!(err.code(), "history-mismatch");
+        let ok = s
+            .push_history(vec![vec![(vec![100, 20, 1], 2.0)], vec![]])
+            .unwrap();
+        assert_eq!(ok.history_samples, 1);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted() {
+        let mgr = SessionManager::new(Duration::from_millis(0));
+        let cache = AutotuneCache::in_memory();
+        let metrics = ServerMetrics::new();
+        let (st, _) = mgr.create(params(4), 0.0, 0, &cache, &metrics).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(mgr.evict_idle(&metrics), 1);
+        assert!(mgr.is_empty());
+        assert!(matches!(
+            mgr.get(st.session),
+            Err(ServeError::UnknownSession(_))
+        ));
+        assert_eq!(metrics.sessions_evicted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn create_rejects_bad_params() {
+        let (mgr, cache, metrics) = ctx();
+        let mut p = params(4);
+        p.workflow = "NOPE".into();
+        assert!(mgr.create(p, 0.0, 0, &cache, &metrics).is_err());
+        let mut p = params(4);
+        p.objective = "latency".into();
+        assert!(mgr.create(p, 0.0, 0, &cache, &metrics).is_err());
+        let p = params(0);
+        assert!(mgr.create(p, 0.0, 0, &cache, &metrics).is_err());
+        assert!(mgr.create(params(4), 1.5, 0, &cache, &metrics).is_err());
+    }
+}

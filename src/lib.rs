@@ -15,6 +15,8 @@
 //! * [`staging`] (`ceal-staging`) — the in-process streaming coupling
 //!   library (ADIOS stand-in) used by the runnable examples.
 //! * [`par`] (`ceal-par`) — the parallel-execution substrate.
+//! * [`serve`] (`ceal-serve`) — the tuner as a concurrent TCP service:
+//!   sessions, a persistent result cache, and batched prediction.
 //!
 //! See `examples/quickstart.rs` for the five-minute tour.
 
@@ -22,5 +24,6 @@ pub use ceal_apps as apps;
 pub use ceal_core as tuner;
 pub use ceal_ml as ml;
 pub use ceal_par as par;
+pub use ceal_serve as serve;
 pub use ceal_sim as sim;
 pub use ceal_staging as staging;

@@ -1,0 +1,393 @@
+//! API-compatible stub of `bytes` for hermetic offline builds.
+//!
+//! [`Bytes`] is an immutable, cheaply-cloneable byte buffer backed by
+//! `Arc<[u8]>` plus a (start, len) view — clones share the allocation just
+//! like upstream, though subslicing helpers beyond `slice` are omitted.
+//! [`BytesMut`] is a thin growable buffer implementing the [`BufMut`]
+//! write subset; [`Buf`] provides cursor-style reads over `Bytes`.
+
+use std::sync::Arc;
+
+/// An immutable, reference-counted contiguous byte buffer.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self {
+            data: Arc::from(&[][..]),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Creates a buffer by copying a static slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self::copy_from_slice(bytes)
+    }
+
+    /// Creates a buffer by copying `bytes`.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Self {
+            data: Arc::from(bytes),
+            start: 0,
+            len: bytes.len(),
+        }
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a sub-view sharing the same allocation.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        assert!(range.start <= range.end && range.end <= self.len, "slice out of bounds");
+        Self {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// Copies the view into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Self {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Self::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+/// A unique, growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    /// Read cursor for the [`Buf`] impl.
+    pos: usize,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+            pos: 0,
+        }
+    }
+
+    /// Unread length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.buf.extend_from_slice(extend);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.pos = 0;
+    }
+
+    /// Freezes into an immutable [`Bytes`] over the unread remainder.
+    pub fn freeze(mut self) -> Bytes {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+        }
+        Bytes::from(self.buf)
+    }
+
+    /// Splits off and returns the first `at` unread bytes.
+    ///
+    /// # Panics
+    /// Panics when `at > len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head: Vec<u8> = self.buf[self.pos..self.pos + at].to_vec();
+        self.buf.drain(..self.pos + at);
+        self.pos = 0;
+        BytesMut { buf: head, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&Bytes::copy_from_slice(self.as_ref()), f)
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        Self { buf, pos: 0 }
+    }
+}
+
+/// Cursor-style reads over a byte container.
+pub trait Buf {
+    /// Unread bytes remaining.
+    fn remaining(&self) -> usize;
+    /// The unread bytes as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Advances the read cursor by `cnt`.
+    fn advance(&mut self, cnt: usize);
+
+    /// True when unread bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+
+    /// Copies `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len, "advance past end");
+        self.start += cnt;
+        self.len -= cnt;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.pos += cnt;
+    }
+}
+
+/// Append-style writes into a byte container.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_clone_shares_and_compares() {
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(&a[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_views_same_allocation() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4]);
+        let mid = a.slice(1..4);
+        assert_eq!(&mid[..], &[1, 2, 3]);
+        assert_eq!(mid.slice(1..2)[..], [2][..]);
+    }
+
+    #[test]
+    fn bytesmut_write_then_read_round_trip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_slice(b"hi");
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u8(), b'h');
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], b"i");
+    }
+
+    #[test]
+    fn split_to_detaches_prefix() {
+        let mut b = BytesMut::from(vec![1u8, 2, 3, 4]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4]);
+    }
+}

@@ -1,0 +1,340 @@
+//! API-compatible stub of `criterion` for hermetic offline builds.
+//!
+//! Runs each benchmark with a warm-up phase followed by timed sample
+//! batches and reports median / mean wall-clock time per iteration (plus
+//! throughput when configured). No statistical regression analysis, HTML
+//! reports, or CLI filtering — just honest timings to stdout with the
+//! upstream macro and builder surface the workspace uses.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large inputs: one setup per iteration.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing harness handed to each benchmark closure.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly, recording per-iteration durations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that takes ~1ms per sample.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but passing the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_count {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Top-level benchmark driver (builder-configured, like upstream).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, None, self, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Upstream calls this after all groups; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.throughput, self.criterion, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(id: &str, throughput: Option<Throughput>, config: &Criterion, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run the closure until the warm-up budget is spent.
+    let warm_deadline = Instant::now() + config.warm_up_time;
+    {
+        let mut scratch = Vec::new();
+        while Instant::now() < warm_deadline {
+            let mut b = Bencher {
+                samples: &mut scratch,
+                sample_count: 1,
+                measurement_time: Duration::from_millis(1),
+            };
+            f(&mut b);
+        }
+    }
+
+    let mut samples = Vec::with_capacity(config.sample_size);
+    let mut b = Bencher {
+        samples: &mut samples,
+        sample_count: config.sample_size,
+        measurement_time: config.measurement_time,
+    };
+    f(&mut b);
+
+    if samples.is_empty() {
+        println!("{id}: no samples collected");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    print!(
+        "{id}: median {} mean {} range [{} .. {}] ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(lo),
+        fmt_duration(hi),
+        samples.len()
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |count: u64| {
+            let secs = median.as_secs_f64();
+            if secs > 0.0 {
+                count as f64 / secs
+            } else {
+                f64::INFINITY
+            }
+        };
+        match tp {
+            Throughput::Bytes(n) => {
+                print!(" throughput {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0))
+            }
+            Throughput::Elements(n) => print!(" throughput {:.0} elem/s", per_sec(n)),
+        }
+    }
+    println!();
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2}us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either the struct form with `name` /
+/// `config` / `targets`, or the simple list form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("copy", |b| {
+            b.iter_batched(
+                || vec![0u8; 1024],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,444 @@
+//! API-compatible stub of `proptest` for hermetic offline builds.
+//!
+//! Covers the subset the workspace uses: range and tuple strategies,
+//! `prop::collection::vec`, `prop_map` / `prop_filter`, the `proptest!`
+//! macro with `#![proptest_config(...)]`, and `prop_assert!` /
+//! `prop_assert_eq!`. Unlike upstream there is no shrinking — a failing
+//! case reports its case index and derived seed so it can be replayed by
+//! rerunning the test (generation is fully deterministic per test name).
+
+use rand::Rng;
+
+/// The RNG handed to strategies (deterministic per test + case).
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Error raised by a failing property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure from any displayable reason.
+    pub fn fail<T: std::fmt::Display>(reason: T) -> Self {
+        Self {
+            msg: reason.to_string(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`] matching upstream's `Reject` name.
+    pub fn reject<T: std::fmt::Display>(reason: T) -> Self {
+        Self::fail(reason)
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+impl From<String> for TestCaseError {
+    fn from(msg: String) -> Self {
+        Self { msg }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Consecutive filter rejections tolerated before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Generates values of an associated type from a seeded RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values failing `pred`, retrying (bounded).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "proptest stub: filter {:?} rejected 10000 consecutive values",
+                self.whence
+            );
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+    /// A strategy producing one fixed value (upstream `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A:0)
+        (A:0, B:1)
+        (A:0, B:1, C:2)
+        (A:0, B:1, C:2, D:3)
+        (A:0, B:1, C:2, D:3, E:4)
+        (A:0, B:1, C:2, D:3, E:4, F:5)
+        (A:0, B:1, C:2, D:3, E:4, F:5, G:6)
+        (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7)
+    }
+}
+
+pub use strategy::Strategy;
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Element-count specification for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs one property across `config.cases` deterministic cases (used by
+/// the [`proptest!`] macro; not part of upstream's public surface).
+#[doc(hidden)]
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+    // Stable seed derived from the test name, so failures replay.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    for i in 0..config.cases {
+        let seed = h ^ ((i as u64) << 32) ^ 0x9e37_79b9_7f4a_7c15;
+        let mut rng = TestRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest case failed: {} (test {name}, case {i}/{}, seed {seed:#x})",
+                e.message(),
+                config.cases
+            );
+        }
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&($left), &($right));
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&($left), &($right));
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_proptest(config, stringify!($name), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    let mut run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    run()
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring upstream.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError,
+    };
+
+    pub mod prop {
+        //! Namespaced strategy constructors (`prop::collection::vec`).
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3i64..=9, y in 0.0f64..1.0, n in 1usize..5) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in prop::collection::vec(0i64..100, 1..20)
+                .prop_map(|mut xs| { xs.sort_unstable(); xs })
+                .prop_filter("nonempty", |xs| !xs.is_empty()),
+        ) {
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn question_mark_propagates(flag in 0u32..2) {
+            let r: Result<(), String> = if flag < 2 { Ok(()) } else { Err("no".into()) };
+            r.map_err(TestCaseError::fail)?;
+            prop_assert_eq!(flag.min(1), flag.min(1));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0u64..1000, 5);
+        let a = strat.generate(&mut crate::TestRng::seed_from_u64(7));
+        let b = strat.generate(&mut crate::TestRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+}

@@ -1,0 +1,437 @@
+//! The parsed JSON tree [`Deserialize`](crate::Deserialize) reads from,
+//! plus its recursive-descent parser and writers.
+
+use crate::Error;
+
+/// A parsed JSON document.
+///
+/// Numbers keep their raw source text so integer precision is not lost to
+/// an eager f64 conversion; objects keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw JSON token (e.g. `"1e-3"`, `"18446744073709551615"`).
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Content>),
+    /// An object, as ordered key/value entries.
+    Object(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Short name of the node kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Number(_) => "number",
+            Content::String(_) => "string",
+            Content::Array(_) => "array",
+            Content::Object(_) => "object",
+        }
+    }
+
+    /// The entry list when this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The element list when this is an array.
+    pub fn as_array(&self) -> Option<&[Content]> {
+        match self {
+            Content::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key when this is an object.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_object().and_then(|o| crate::fields_get(o, key))
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(input: &str) -> Result<Content, Error> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(Error::custom(format!(
+                "trailing characters at byte {pos}"
+            )));
+        }
+        Ok(value)
+    }
+
+    /// Writes this tree as compact JSON.
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Content::Null => out.push_str("null"),
+            Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Content::Number(raw) => out.push_str(raw),
+            Content::String(s) => crate::write_json_string(s, out),
+            Content::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Content::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    crate::write_json_string(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Writes this tree as pretty JSON with two-space indentation (the
+    /// layout `serde_json::to_writer_pretty` produces).
+    pub fn write_pretty(&self, indent: usize, out: &mut String) {
+        match self {
+            Content::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(indent + 1, out);
+                    item.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                push_indent(indent, out);
+                out.push(']');
+            }
+            Content::Object(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(indent + 1, out);
+                    crate::write_json_string(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                push_indent(indent, out);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+fn push_indent(levels: usize, out: &mut String) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), Error> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error::custom(format!(
+            "expected {:?} at byte {}",
+            b as char, *pos
+        )))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Content, Error> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err(Error::custom("unexpected end of input"));
+    };
+    match b {
+        b'n' => parse_keyword(bytes, pos, "null", Content::Null),
+        b't' => parse_keyword(bytes, pos, "true", Content::Bool(true)),
+        b'f' => parse_keyword(bytes, pos, "false", Content::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Content::String),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Content::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Content::Array(items));
+                    }
+                    _ => {
+                        return Err(Error::custom(format!(
+                            "expected ',' or ']' at byte {}",
+                            *pos
+                        )))
+                    }
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Content::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Content::Object(entries));
+                    }
+                    _ => {
+                        return Err(Error::custom(format!(
+                            "expected ',' or '}}' at byte {}",
+                            *pos
+                        )))
+                    }
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(Error::custom(format!(
+            "unexpected character {:?} at byte {}",
+            other as char, *pos
+        ))),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Content,
+) -> Result<Content, Error> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error::custom(format!(
+            "invalid keyword at byte {}",
+            *pos
+        )))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Content, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(Error::custom(format!("invalid number at byte {start}")));
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| Error::custom("non-utf8 number"))?;
+    Ok(Content::Number(raw.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(Error::custom("unterminated string"));
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(Error::custom("unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{08}'),
+                    b'f' => out.push('\u{0c}'),
+                    b'u' => {
+                        let unit = parse_hex4(bytes, pos)?;
+                        // Decode UTF-16 surrogate pairs.
+                        let code = if (0xD800..0xDC00).contains(&unit) {
+                            if bytes.get(*pos) == Some(&b'\\')
+                                && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                *pos += 2;
+                                let low = parse_hex4(bytes, pos)?;
+                                0x10000 + ((unit as u32 - 0xD800) << 10) + (low as u32 - 0xDC00)
+                            } else {
+                                return Err(Error::custom("lone high surrogate"));
+                            }
+                        } else {
+                            unit as u32
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::custom("invalid unicode escape"))?,
+                        );
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "invalid escape \\{}",
+                            other as char
+                        )))
+                    }
+                }
+            }
+            _ => {
+                // Consume one full UTF-8 character.
+                let len = utf8_len(b);
+                let end = *pos + len;
+                let chunk = bytes
+                    .get(*pos..end)
+                    .ok_or_else(|| Error::custom("truncated utf8"))?;
+                out.push_str(
+                    std::str::from_utf8(chunk).map_err(|_| Error::custom("invalid utf8"))?,
+                );
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u16, Error> {
+    let chunk = bytes
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+    let s = std::str::from_utf8(chunk).map_err(|_| Error::custom("invalid \\u escape"))?;
+    let v = u16::from_str_radix(s, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+    *pos += 4;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = r#" {"a": [1, 2.5, -3e2], "b": {"c": null, "d": "x\ny"}, "e": true} "#;
+        let v = Content::parse(doc).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2],
+            Content::Number("-3e2".into())
+        );
+        assert_eq!(v.get("b").unwrap().get("d").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("e"), Some(&Content::Bool(true)));
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let v = Content::parse("18446744073709551615").unwrap();
+        assert_eq!(v, Content::Number("18446744073709551615".into()));
+    }
+
+    #[test]
+    fn surrogate_pair_decodes() {
+        let v = Content::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn compact_and_pretty_round_trip() {
+        let doc = r#"{"k":[1,{"x":"y"},[]],"z":{}}"#;
+        let v = Content::parse(doc).unwrap();
+        let mut compact = String::new();
+        v.write_compact(&mut compact);
+        assert_eq!(compact, doc);
+        let mut pretty = String::new();
+        v.write_pretty(0, &mut pretty);
+        assert_eq!(Content::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Content::parse("{\"a\": }").is_err());
+        assert!(Content::parse("[1,]").is_err());
+        assert!(Content::parse("1 2").is_err());
+        assert!(Content::parse("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,418 @@
+//! API-compatible stub of `serde` for hermetic offline builds.
+//!
+//! Instead of serde's visitor-based data model, this stub is JSON-direct:
+//! [`Serialize`] appends JSON text to a `String`, and [`Deserialize`]
+//! reads from a parsed [`Content`] tree. The derive macros (re-exported
+//! from `serde_derive` under the `derive` feature, like upstream) generate
+//! impls of these traits with upstream's externally-tagged layout, so any
+//! JSON produced here is byte-compatible with what real serde_json would
+//! emit for the same types (modulo float shortest-representation detail).
+//!
+//! Numbers are kept as raw strings inside [`Content`] so u64 precision
+//! survives a round trip without committing every number to f64.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod content;
+
+pub use content::Content;
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Creates a "missing field" error for derive-generated code.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Self::custom(format!("missing field `{field}` in `{ty}`"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can render itself as JSON text.
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// A type that can reconstruct itself from a parsed JSON tree.
+pub trait Deserialize: Sized {
+    /// Builds a value from `v`, failing with a message on shape mismatch.
+    fn deserialize_json(v: &Content) -> Result<Self, Error>;
+}
+
+/// Looks up `key` in an object's entry list (derive helper).
+pub fn fields_get<'a>(obj: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_json(v: &Content) -> Result<Self, Error> {
+                match v {
+                    Content::Number(raw) => raw.parse::<$ty>().map_err(|e| {
+                        Error::custom(format!(
+                            "invalid {}: {raw:?} ({e})",
+                            stringify!($ty)
+                        ))
+                    }),
+                    other => Err(Error::custom(format!(
+                        "expected number for {}, got {}",
+                        stringify!($ty),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip representation,
+                    // which is also valid JSON for finite floats.
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    // Real serde_json has no representation for these
+                    // either; null matches its Value pretty-printer.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize_json(v: &Content) -> Result<Self, Error> {
+                match v {
+                    Content::Number(raw) => raw.parse::<$ty>().map_err(|e| {
+                        Error::custom(format!("invalid float {raw:?} ({e})"))
+                    }),
+                    Content::Null => Ok(<$ty>::NAN),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_json(v: &Content) -> Result<Self, Error> {
+        T::deserialize_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(x) => x.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, x) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            x.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Array(items) => items.iter().map(T::deserialize_json).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$idx.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_json(v: &Content) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Content::Array(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize_json(&items[$idx])?,)+))
+                    }
+                    Content::Array(items) => Err(Error::custom(format!(
+                        "expected {}-tuple, got array of {}", LEN, items.len()
+                    ))),
+                    other => Err(Error::custom(format!(
+                        "expected array for tuple, got {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A:0)
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6)
+    (A:0, B:1, C:2, D:3, E:4, F:5, G:6, H:7)
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(k, out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_json(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Object(entries) => entries
+                .iter()
+                .map(|(k, x)| Ok((k.clone(), V::deserialize_json(x)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for std::collections::HashMap<String, V, S> {
+    fn serialize_json(&self, out: &mut String) {
+        // Sort keys so output is deterministic, as with the BTreeMap above.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(k, out);
+            out.push(':');
+            self[k.as_str()].serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize_json(v: &Content) -> Result<Self, Error> {
+        match v {
+            Content::Object(entries) => entries
+                .iter()
+                .map(|(k, x)| Ok((k.clone(), V::deserialize_json(x)?)))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let mut s = String::new();
+        value.serialize_json(&mut s);
+        let tree = Content::parse(&s).expect("parse");
+        let back = T::deserialize_json(&tree).expect("deserialize");
+        assert_eq!(back, value, "through {s}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(42u64);
+        round_trip(-7i64);
+        round_trip(u64::MAX);
+        round_trip(3.5f64);
+        round_trip(0.1f64);
+        round_trip(true);
+        round_trip(String::from("he said \"hi\"\n\t\\"));
+        round_trip(Option::<f64>::None);
+        round_trip(Some(1.25f64));
+    }
+
+    #[test]
+    fn nested_collections_round_trip() {
+        round_trip(vec![vec![(vec![1i64, 2, 3], 4.5f64)], vec![]]);
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32]);
+        round_trip(m);
+    }
+
+    #[test]
+    fn string_escapes_are_json() {
+        let mut s = String::new();
+        "a\"b\\c\nd\u{01}".serialize_json(&mut s);
+        assert_eq!(s, r#""a\"b\\c\nd\u0001""#);
+    }
+}

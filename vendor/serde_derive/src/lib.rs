@@ -1,0 +1,435 @@
+//! API-compatible stub of `serde_derive` for hermetic offline builds.
+//!
+//! Generates impls of the stub `serde::Serialize` / `serde::Deserialize`
+//! traits (JSON-direct; see the `serde` vendor crate) using upstream's
+//! externally-tagged representation:
+//!
+//! - struct            → `{"field": ..., ...}`
+//! - unit variant      → `"Variant"`
+//! - newtype variant   → `{"Variant": value}`
+//! - tuple variant     → `{"Variant": [a, b]}`
+//! - struct variant    → `{"Variant": {"field": ...}}`
+//!
+//! The item is parsed directly from the token stream (no `syn`/`quote`,
+//! which are unavailable offline). Supported shapes: non-generic structs
+//! with named fields and non-generic enums. `#[serde(...)]` attributes are
+//! accepted but ignored; anything unsupported fails the build with a clear
+//! message rather than silently producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Parenthesised payload with this many elements (1 = newtype).
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => {
+            let mut out = String::new();
+            out.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("out.push(',');\n");
+                }
+                out.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            out.push_str("out.push('}');\n");
+            let _ = name;
+            out
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(x0) => {{\n\
+                             out.push_str(\"{{\\\"{vn}\\\":\");\n\
+                             ::serde::Serialize::serialize_json(x0, out);\n\
+                             out.push('}}');\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let mut write = format!(
+                            "{name}::{vn}({}) => {{\n\
+                             out.push_str(\"{{\\\"{vn}\\\":[\");\n",
+                            binders.join(", ")
+                        );
+                        for (i, b) in binders.iter().enumerate() {
+                            if i > 0 {
+                                write.push_str("out.push(',');\n");
+                            }
+                            write.push_str(&format!(
+                                "::serde::Serialize::serialize_json({b}, out);\n"
+                            ));
+                        }
+                        write.push_str("out.push_str(\"]}\");\n}\n");
+                        arms.push_str(&write);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut write = format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             out.push_str(\"{{\\\"{vn}\\\":{{\");\n",
+                            fields.join(", ")
+                        );
+                        for (i, f) in fields.iter().enumerate() {
+                            if i > 0 {
+                                write.push_str("out.push(',');\n");
+                            }
+                            write.push_str(&format!(
+                                "out.push_str(\"\\\"{f}\\\":\");\n\
+                                 ::serde::Serialize::serialize_json({f}, out);\n"
+                            ));
+                        }
+                        write.push_str("out.push_str(\"}}\");\n}\n");
+                        arms.push_str(&write);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive stub emitted invalid Serialize impl")
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item_name(&item).to_string();
+    let body = match &item {
+        Item::Struct { fields, .. } => {
+            let inits = struct_field_inits(&name, fields, "obj");
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\n\
+                 format!(\"expected object for struct {name}, got {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n"
+            )
+        }
+        Item::Enum { variants, .. } => {
+            let mut unit_arms = String::new();
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize_json(payload)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{\n\
+                             let items = payload.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for variant {vn}\"))?;\n\
+                             if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple arity for variant {vn}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}(\n"
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::deserialize_json(&items[{i}])?,\n"
+                            ));
+                        }
+                        arm.push_str("))\n}\n");
+                        tagged_arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = enum_struct_field_inits(&name, vn, fields, "inner");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let inner = payload.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for variant {vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Content::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                 format!(\"unknown unit variant {{other:?}} for {name}\"))),\n\
+                 }},\n\
+                 other_node => {{\n\
+                 let obj = other_node.as_object().ok_or_else(|| ::serde::Error::custom(\n\
+                 format!(\"expected string or object for enum {name}, got {{}}\", \
+                 other_node.kind())))?;\n\
+                 if obj.len() != 1 {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\n\
+                 \"expected single-key object for enum {name}\"));\n}}\n\
+                 let (tag, payload) = &obj[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\n\
+                 format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(v: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive stub emitted invalid Deserialize impl")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+fn struct_field_inits(ty: &str, fields: &[String], obj: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: match ::serde::fields_get({obj}, \"{f}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_json(x)?,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::Error::missing_field(\"{f}\", \"{ty}\")),\n}},\n"
+        ));
+    }
+    out
+}
+
+fn enum_struct_field_inits(ty: &str, variant: &str, fields: &[String], obj: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: match ::serde::fields_get({obj}, \"{f}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_json(x)?,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\
+             ::serde::Error::missing_field(\"{f}\", \"{ty}::{variant}\")),\n}},\n"
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive stub: `{name}` must have a braced body \
+             (tuple/unit structs unsupported), got {other:?}"
+        ),
+    };
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips `#[...]` attributes (including doc comments) and a `pub` /
+/// `pub(...)` prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `field: Type, ...` out of a braced struct body, returning field
+/// names. Type tokens are skipped with angle-bracket depth tracking so
+/// commas inside generics (e.g. `HashMap<String, u64>`) do not split a
+/// field.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde_derive stub: expected `:` after field `{field}`, got {other:?}"
+            ),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type, stopping at a top-level `,` or end of tokens.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                // Ignore the `>` of `->` (function-pointer return types).
+                '>' if !prev_dash => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_elems(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("serde_derive stub: explicit discriminants are not supported");
+        }
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Counts comma-separated types in a tuple-variant payload.
+fn count_tuple_elems(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}

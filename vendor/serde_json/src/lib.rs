@@ -1,0 +1,686 @@
+//! API-compatible stub of `serde_json` for hermetic offline builds.
+//!
+//! Implements the subset the workspace uses over the stub `serde` crate's
+//! JSON-direct traits: [`Value`] / [`Map`] / [`Number`], the [`json!`]
+//! macro, and the string/writer/reader entry points. Object keys are kept
+//! sorted (upstream's default BTreeMap behaviour) and numbers preserve
+//! their raw text so u64 precision survives a round trip.
+
+use serde::{Content, Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Serialization/deserialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Convenience alias matching upstream.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A JSON number, stored as its raw token.
+#[derive(Debug, Clone)]
+pub struct Number {
+    raw: String,
+}
+
+impl Number {
+    /// The value as f64, when representable.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.raw.parse().ok()
+    }
+
+    /// The value as i64, when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.raw.parse().ok()
+    }
+
+    /// The value as u64, when it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.raw.parse().ok()
+    }
+
+    /// Builds a Number from a finite f64 (None for NaN/infinities).
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then(|| Number {
+            raw: format!("{v:?}"),
+        })
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare as integers when both sides are integers (full 64-bit
+        // precision), falling back to f64.
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => match (self.as_f64(), other.as_f64()) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => self.raw == other.raw,
+                },
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+macro_rules! number_from_int {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Number {
+            fn from(v: $ty) -> Number {
+                Number { raw: v.to_string() }
+            }
+        }
+    )*};
+}
+
+number_from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// A JSON object with sorted keys (upstream's default map).
+///
+/// Generic like upstream's `Map<String, Value>`, but only that
+/// instantiation carries an API.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    inner: BTreeMap<K, V>,
+}
+
+impl Map<String, Value> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a key/value pair, returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        self.inner.insert(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.inner.get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.inner.get_mut(key)
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        self.inner.remove(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.inner.iter()
+    }
+
+    /// Iterates keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.inner.keys()
+    }
+
+    /// Iterates values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.inner.values()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        Self {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::collections::btree_map::IntoIter<String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::collections::btree_map::Iter<'a, String, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as u64.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map, when this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True when this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn from_content(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::Number(raw) => Value::Number(Number { raw: raw.clone() }),
+            Content::String(s) => Value::String(s.clone()),
+            Content::Array(items) => Value::Array(items.iter().map(Value::from_content).collect()),
+            Content::Object(entries) => Value::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// Returns `Null` for non-objects and missing keys, like upstream's
+    /// lenient indexing.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($ty:ty),*) => {$(
+        impl PartialEq<$ty> for Value {
+            fn eq(&self, other: &$ty) -> bool {
+                self.as_i64() == i64::try_from(*other).ok()
+            }
+        }
+        impl PartialEq<Value> for $ty {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_eq_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.serialize_json(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.raw),
+            Value::String(s) => serde::write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.serialize_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_string(k, out);
+                    out.push(':');
+                    v.serialize_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_json(v: &Content) -> std::result::Result<Self, serde::Error> {
+        Ok(Value::from_content(v))
+    }
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:expr),* $(,)?) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                $variant(v)
+            }
+        }
+    )*};
+}
+
+value_from! {
+    bool => Value::Bool,
+    String => Value::String,
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map_or(Value::Null, Value::Number)
+    }
+}
+
+macro_rules! value_from_int {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::Number(Number::from(v))
+            }
+        }
+    )*};
+}
+
+value_from_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Value {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Serializes to a JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    let mut s = String::new();
+    value.serialize_json(&mut s);
+    Ok(s)
+}
+
+/// Serializes to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    let tree = Content::parse(&compact)?;
+    let mut out = String::new();
+    tree.write_pretty(0, &mut out);
+    Ok(out)
+}
+
+/// Serializes to a JSON byte vector.
+pub fn to_vec<T: ?Sized + Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes into a writer.
+pub fn to_writer<W: std::io::Write, T: ?Sized + Serialize>(mut writer: W, value: &T) -> Result<()> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Serializes pretty-printed JSON into a writer.
+pub fn to_writer_pretty<W: std::io::Write, T: ?Sized + Serialize>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Deserializes from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let tree = Content::parse(s)?;
+    Ok(T::deserialize_json(&tree)?)
+}
+
+/// Deserializes from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(s)
+}
+
+/// Deserializes by reading a full JSON document from `reader`.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T> {
+    let mut s = String::new();
+    reader.read_to_string(&mut s)?;
+    from_str(&s)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value> {
+    from_str(&to_string(value)?)
+}
+
+/// Converts a [`Value`] tree into a concrete type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    from_str(&to_string(&value)?)
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Supports nested objects,
+/// arrays, `null`, booleans, and arbitrary serializable expressions in
+/// value position.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`] (a token-tree muncher; commas inside
+/// parenthesised subexpressions are invisible at this level, so splitting
+/// on top-level `,` is sound).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut array = ::std::vec::Vec::new();
+        $crate::json_internal!(@array array [] $($tt)+);
+        $crate::Value::Array(array)
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object $($tt)+);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value failed to serialize")
+    };
+
+    // --- array elements: accumulate tokens until a top-level comma ---
+    (@array $arr:ident [$($acc:tt)+] , $($rest:tt)*) => {
+        $arr.push($crate::json_internal!($($acc)+));
+        $crate::json_internal!(@array $arr [] $($rest)*);
+    };
+    (@array $arr:ident [$($acc:tt)+]) => {
+        $arr.push($crate::json_internal!($($acc)+));
+    };
+    (@array $arr:ident []) => {};
+    (@array $arr:ident [$($acc:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@array $arr [$($acc)* $next] $($rest)*);
+    };
+
+    // --- object entries: `"key": <value tokens>` split on top-level commas ---
+    (@object $obj:ident) => {};
+    (@object $obj:ident $key:tt : $($rest:tt)*) => {
+        $crate::json_internal!(@value $obj $key [] $($rest)*);
+    };
+
+    (@value $obj:ident $key:tt [$($acc:tt)+] , $($rest:tt)*) => {
+        $obj.insert(($key).to_string(), $crate::json_internal!($($acc)+));
+        $crate::json_internal!(@object $obj $($rest)*);
+    };
+    (@value $obj:ident $key:tt [$($acc:tt)+]) => {
+        $obj.insert(($key).to_string(), $crate::json_internal!($($acc)+));
+    };
+    (@value $obj:ident $key:tt [$($acc:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@value $obj $key [$($acc)* $next] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "a": 1,
+            "b": [1, 2.5, null, true],
+            "c": { "nested": "x" },
+            "d": 1 + 2,
+        });
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][1], 2.5);
+        assert!(v["b"][2].is_null());
+        assert_eq!(v["c"]["nested"], "x");
+        assert_eq!(v["d"], 3);
+    }
+
+    #[test]
+    fn json_macro_complex_exprs() {
+        struct S {
+            mean: f64,
+        }
+        let s = S { mean: 4.25 };
+        let xs = [1u64, 2, 3];
+        let v = json!({
+            "mean": s.mean,
+            "sum": xs.iter().copied().sum::<u64>(),
+            "opt": Option::<f64>::None,
+            "list": xs.iter().map(|x| json!({ "x": x })).collect::<Vec<_>>(),
+        });
+        assert_eq!(v["mean"], 4.25);
+        assert_eq!(v["sum"], 6);
+        assert!(v["opt"].is_null());
+        assert_eq!(v["list"][2]["x"], 3);
+    }
+
+    #[test]
+    fn string_round_trip_preserves_structure() {
+        let v = json!({"k": [1, {"x": "y\n"}], "big": 18446744073709551615u64});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back["big"].as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": [1, 2], "b": {"c": true}});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn map_is_sorted_and_indexable() {
+        let mut m = Map::new();
+        m.insert("z".into(), json!(1));
+        m.insert("a".into(), json!(2));
+        let keys: Vec<&String> = m.keys().collect();
+        assert_eq!(keys, ["a", "z"]);
+        let v = Value::Object(m);
+        assert_eq!(v["z"], 1);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn io_round_trip() {
+        let v = json!({"x": 1});
+        let mut buf = Vec::new();
+        to_writer_pretty(&mut buf, &v).unwrap();
+        let back: Value = from_reader(buf.as_slice()).unwrap();
+        assert_eq!(back, v);
+    }
+}
