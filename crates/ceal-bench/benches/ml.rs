@@ -1,7 +1,10 @@
 //! Criterion micro-benchmarks of the ML substrate: surrogate training and
 //! pool-scale prediction at the sizes the auto-tuner uses.
 
-use ceal_ml::{Dataset, GbtParams, GradientBoosting, RandomForest, RandomForestParams, Regressor};
+use ceal_ml::{
+    BinnedDataset, Dataset, GbtParams, GradientBoosting, RandomForest, RandomForestParams,
+    RegressionTree, Regressor, TreeParams, DEFAULT_MAX_BINS,
+};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -71,6 +74,63 @@ fn bench_ml(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+
+    // Single-tree split search: histogram path vs the exact-greedy
+    // reference it replaced, at the acceptance-criterion dataset size.
+    let wide = tuning_dataset(1000, 20);
+    let grad: Vec<f64> = wide.targets().iter().map(|y| -y).collect();
+    let hess = vec![1.0; wide.n_rows()];
+    let rows: Vec<usize> = (0..wide.n_rows()).collect();
+    let feats: Vec<usize> = (0..wide.n_features()).collect();
+    let tp = TreeParams {
+        max_depth: 6,
+        ..Default::default()
+    };
+    c.bench_function("tree_fit_exact_1000x20", |b| {
+        b.iter(|| {
+            black_box(RegressionTree::fit_gradients_exact(
+                black_box(&wide),
+                &grad,
+                &hess,
+                &rows,
+                &feats,
+                tp,
+            ))
+        })
+    });
+    let binned_wide = BinnedDataset::from_dataset(&wide, DEFAULT_MAX_BINS);
+    c.bench_function("tree_fit_binned_1000x20", |b| {
+        b.iter(|| {
+            black_box(RegressionTree::fit_binned(
+                black_box(&binned_wide),
+                &grad,
+                &hess,
+                &rows,
+                &feats,
+                tp,
+            ))
+        })
+    });
+
+    // Full boosted fit at the acceptance-criterion size.
+    c.bench_function("gbt_fit_1000x20", |b| {
+        b.iter_batched(
+            || GradientBoosting::new(GbtParams::small_sample(0)),
+            |mut m| {
+                m.fit(black_box(&wide));
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Batch pool prediction at medium and large pool sizes.
+    for &pool_rows in &[10_000usize, 50_000] {
+        let pool = tuning_dataset(pool_rows, 6);
+        c.bench_function(&format!("gbt_predict_pool_{pool_rows}"), |b| {
+            b.iter(|| black_box(fitted.predict_batch(black_box(&pool))))
+        });
+    }
 }
 
 criterion_group! {

@@ -1,0 +1,307 @@
+//! `bench-ml` — perf tracking for the surrogate hot path.
+//!
+//! Measures surrogate training and pool-scale prediction in two
+//! implementations:
+//!
+//! * **reference** — the pre-histogram code path: exact-greedy per-node-sort
+//!   split search, and row-at-a-time pool scoring that walks the enum node
+//!   trees (re-encoding every configuration where a [`FeatureMap`] is
+//!   involved);
+//! * **current** — the production path: quantile-binned histogram training
+//!   and batched structure-of-arrays prediction over a pool encoded once.
+//!
+//! The headline pool case scores 10k candidates under the bagged-forest
+//! surrogate (the ensemble tuner's scoring model, whose deep unregularized
+//! trees dwarf the cache); the GBT serve-scale row is reported alongside for
+//! a fuller picture, and tuner-scale rows track absolute latency.
+//!
+//! Writes machine-readable numbers (plus the git revision) to
+//! `BENCH_ml.json` in the working directory — run it from the repo root —
+//! so successive PRs can show speedups and catch regressions:
+//!
+//! ```text
+//! cargo run --release -p ceal-bench --bin bench-ml [-- --reps N]
+//! ```
+
+use ceal_bench::report::{fmt, print_table};
+use ceal_core::{encode_pool, sample_pool, FeatureMap};
+use ceal_ml::{
+    Dataset, GbtParams, GradientBoosting, RandomForest, RandomForestParams, RegressionTree,
+    Regressor, TreeParams,
+};
+use ceal_sim::Simulator;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// Deterministic synthetic tuning data: interacting features plus hashed
+/// noise, so trees grow realistically instead of collapsing to a few splits.
+fn tuning_dataset(rows: usize, features: usize) -> Dataset {
+    let mut data = Dataset::new(features);
+    for i in 0..rows {
+        let row: Vec<f64> = (0..features)
+            .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+            .collect();
+        let mut y: f64 = row
+            .iter()
+            .enumerate()
+            .map(|(j, x)| (j as f64 + 1.0) * x * row[(j + 3) % features])
+            .sum();
+        y += ((i.wrapping_mul(2654435761) >> 7) % 1000) as f64 / 500.0;
+        data.push_row(&row, y);
+    }
+    data
+}
+
+/// The pre-PR `GradientBoosting::fit` loop, verbatim but with the
+/// exact-greedy tree grower. Requires `subsample == colsample == 1.0` so
+/// the replica needs no RNG plumbing.
+fn fit_reference(data: &Dataset, params: &GbtParams) -> (f64, Vec<RegressionTree>) {
+    assert!(params.subsample == 1.0 && params.colsample == 1.0);
+    let n = data.n_rows();
+    let base = data.target_mean();
+    let mut pred = vec![base; n];
+    let mut grad = vec![0.0; n];
+    let hess = vec![1.0; n];
+    let rows: Vec<usize> = (0..n).collect();
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+    let mut trees = Vec::with_capacity(params.n_rounds);
+    for _ in 0..params.n_rounds {
+        for ((g, p), y) in grad.iter_mut().zip(&pred).zip(data.targets()) {
+            *g = p - y;
+        }
+        let tree =
+            RegressionTree::fit_gradients_exact(data, &grad, &hess, &rows, &feats, params.tree);
+        for (i, p) in pred.iter_mut().enumerate() {
+            *p += params.learning_rate * tree.predict_row(data.row(i));
+        }
+        trees.push(tree);
+    }
+    (base, trees)
+}
+
+/// The pre-PR pool scoring loop: per row, walk every enum tree and combine
+/// as `base + scale * sum`.
+fn score_reference(base: f64, scale: f64, trees: &[RegressionTree], pool: &Dataset) -> Vec<f64> {
+    (0..pool.n_rows())
+        .map(|i| {
+            base + scale
+                * trees
+                    .iter()
+                    .map(|t| t.predict_row(pool.row(i)))
+                    .sum::<f64>()
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds (after one warm-up
+/// call whose result anchors the returned value).
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let result = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, result)
+}
+
+struct Case {
+    name: &'static str,
+    /// Work items processed per invocation (rows fit or configs scored).
+    items: usize,
+    reference_ms: Option<f64>,
+    current_ms: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> Option<f64> {
+        self.reference_ms.map(|r| r / self.current_ms)
+    }
+
+    fn throughput(&self) -> f64 {
+        self.items as f64 / (self.current_ms / 1e3)
+    }
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn main() {
+    let mut reps = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--reps" => {
+                reps = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--reps wants a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (usage: bench-ml [--reps N])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cases: Vec<Case> = Vec::new();
+
+    // ---- GBT fit at 1k rows x 20 features (acceptance-criterion size) ----
+    let wide = tuning_dataset(1000, 20);
+    let fit_params = GbtParams {
+        n_rounds: 200,
+        learning_rate: 0.08,
+        subsample: 1.0,
+        colsample: 1.0,
+        ..GbtParams::small_sample(0)
+    };
+    let (ref_fit_ms, _) = time_best(reps, || fit_reference(&wide, &fit_params));
+    let (cur_fit_ms, _) = time_best(reps, || {
+        let mut m = GradientBoosting::new(fit_params);
+        m.fit(&wide);
+        m
+    });
+    cases.push(Case {
+        name: "gbt_fit_1000x20",
+        items: wide.n_rows(),
+        reference_ms: Some(ref_fit_ms),
+        current_ms: cur_fit_ms,
+    });
+
+    // ---- Pool scoring: 10k candidates under the bagged-forest surrogate ----
+    // The ensemble tuner scores pools with a default random forest; its
+    // depth-10 unregularized trees are where the enum layout hurts most.
+    let train = tuning_dataset(2000, 20);
+    let pool = tuning_dataset(10_000, 20);
+    let mut forest = RandomForest::new(RandomForestParams::default());
+    forest.fit(&train);
+    let forest_trees = forest.trees().to_vec();
+    let forest_scale = 1.0 / forest.n_trees() as f64;
+    let (ref_rf_ms, ref_rf) = time_best(reps, || {
+        score_reference(0.0, forest_scale, &forest_trees, &pool)
+    });
+    let (cur_rf_ms, cur_rf) = time_best(reps, || forest.predict_batch(&pool));
+    // Same ensemble on both sides; guard against benchmarking different work.
+    assert_eq!(ref_rf.len(), cur_rf.len());
+    cases.push(Case {
+        name: "pool_score_10000",
+        items: pool.n_rows(),
+        reference_ms: Some(ref_rf_ms),
+        current_ms: cur_rf_ms,
+    });
+
+    // ---- Pool scoring: same pool under a serve-scale GBT surrogate ----
+    let gbt_params = GbtParams {
+        n_rounds: 300,
+        learning_rate: 0.08,
+        tree: TreeParams {
+            max_depth: 6,
+            ..TreeParams::default()
+        },
+        subsample: 1.0,
+        colsample: 1.0,
+        seed: 0,
+    };
+    let (gbt_base, gbt_trees) = fit_reference(&train, &gbt_params);
+    let mut gbt = GradientBoosting::new(gbt_params);
+    gbt.fit(&train);
+    let (ref_gbt_ms, _) = time_best(reps, || {
+        score_reference(gbt_base, gbt_params.learning_rate, &gbt_trees, &pool)
+    });
+    let (cur_gbt_ms, _) = time_best(reps, || gbt.predict_batch(&pool));
+    cases.push(Case {
+        name: "pool_score_gbt_10000",
+        items: pool.n_rows(),
+        reference_ms: Some(ref_gbt_ms),
+        current_ms: cur_gbt_ms,
+    });
+
+    // ---- Current-only trajectory points ----
+    let small = tuning_dataset(50, 6);
+    let (tuner_fit_ms, _) = time_best(reps, || {
+        let mut m = GradientBoosting::new(GbtParams::small_sample(0));
+        m.fit(&small);
+        m
+    });
+    cases.push(Case {
+        name: "gbt_fit_tuner_50x6",
+        items: small.n_rows(),
+        reference_ms: None,
+        current_ms: tuner_fit_ms,
+    });
+
+    // End-to-end tuner path at LV-workflow scale: sample, encode once,
+    // batch-predict under the tuner-sized surrogate.
+    let spec = ceal_apps::lv();
+    let sim = Simulator::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(2021);
+    let lv_pool = sample_pool(&spec, &sim.platform, 50_000, &mut rng);
+    let fm = FeatureMap::for_workflow(&spec);
+    let lv_train: Vec<Vec<f64>> = lv_pool.iter().take(80).map(|c| fm.encode(c)).collect();
+    let ys: Vec<f64> = lv_train
+        .iter()
+        .map(|r| r.iter().enumerate().map(|(j, v)| (j + 1) as f64 * v).sum())
+        .collect();
+    let lv_train = Dataset::from_rows(&lv_train, &ys);
+    let mut lv_model = GradientBoosting::new(GbtParams {
+        subsample: 1.0,
+        ..GbtParams::small_sample(0)
+    });
+    lv_model.fit(&lv_train);
+    let (lv_ms, _) = time_best(reps, || lv_model.predict_batch(&encode_pool(&fm, &lv_pool)));
+    cases.push(Case {
+        name: "pool_score_lv_50000",
+        items: lv_pool.len(),
+        reference_ms: None,
+        current_ms: lv_ms,
+    });
+
+    // ---- Report ----
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                c.reference_ms.map_or("-".into(), fmt),
+                fmt(c.current_ms),
+                c.speedup().map_or("-".into(), |s| format!("{s:.1}x")),
+                format!("{:.0}", c.throughput()),
+            ]
+        })
+        .collect();
+    print_table(
+        "ML hot-path benchmarks",
+        &["case", "ref ms", "cur ms", "speedup", "items/s"],
+        &rows,
+    );
+
+    let json = serde_json::json!({
+        "git_rev": git_rev(),
+        "reps": reps,
+        "cases": cases.iter().map(|c| serde_json::json!({
+            "name": c.name,
+            "items": c.items,
+            "reference_ms": c.reference_ms,
+            "current_ms": c.current_ms,
+            "speedup": c.speedup(),
+            "items_per_s": c.throughput(),
+        })).collect::<Vec<_>>(),
+    });
+    let path = "BENCH_ml.json";
+    match std::fs::write(path, serde_json::to_string_pretty(&json).unwrap()) {
+        Ok(()) => println!("\n  [saved {path}]"),
+        Err(e) => {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

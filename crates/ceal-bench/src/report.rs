@@ -90,7 +90,7 @@ mod tests {
 
     #[test]
     fn save_json_roundtrip() {
-        let dir = std::env::temp_dir().join("ceal-bench-test-results");
+        let dir = ceal_testutil::unique_temp_path("ceal-bench-test-results", "");
         std::env::set_var("CEAL_RESULTS_DIR", &dir);
         save_json("unit-test", &serde_json::json!({"x": 1}));
         let read: serde_json::Value =

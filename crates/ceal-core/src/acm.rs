@@ -56,7 +56,7 @@ impl CombineFn {
 
 enum CompModel {
     /// Boosted-tree model over the component's parameters.
-    Learned(GradientBoosting),
+    Learned(Box<GradientBoosting>),
     /// Constant prediction (single-configuration or single-sample
     /// components like the GP plotters).
     Constant(f64),
@@ -107,7 +107,7 @@ impl ComponentModels {
                 let mut gbt =
                     GradientBoosting::new(GbtParams::small_sample(seed ^ (j as u64) << 8));
                 gbt.fit(&Dataset::from_rows(&rows, &ys));
-                CompModel::Learned(gbt)
+                CompModel::Learned(Box::new(gbt))
             };
             models.push(model);
             feature_maps.push(fm);

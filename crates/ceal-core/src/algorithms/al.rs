@@ -7,7 +7,7 @@
 //! pool configurations.
 
 use super::{
-    fit_surrogate_kind, measure_indices, random_unmeasured, score_pool, select_top_unmeasured,
+    encode_pool, fit_surrogate_kind, measure_indices, random_unmeasured, select_top_unmeasured,
     Autotuner, SurrogateKind, TunerRun,
 };
 use crate::features::FeatureMap;
@@ -45,6 +45,8 @@ impl Autotuner for ActiveLearning {
         let batch = (budget / iters).max(1);
         let mut measured_idx = vec![false; pool.len()];
         let mut measured = Vec::with_capacity(budget);
+        // Fixed pool → encode once, score batched every iteration.
+        let enc_pool = encode_pool(&fm, pool);
 
         // Batch 0: random seeding.
         let first = random_unmeasured(&measured_idx, batch.min(budget), &mut rng);
@@ -53,7 +55,7 @@ impl Autotuner for ActiveLearning {
         let mut model = fit_surrogate_kind(self.surrogate, &fm, &measured, seed);
         while measured.len() < budget {
             let take = batch.min(budget - measured.len());
-            let scores = score_pool(&fm, model.as_ref(), pool);
+            let scores = model.predict_batch(&enc_pool);
             let picks = select_top_unmeasured(&scores, &measured_idx, take);
             if picks.is_empty() {
                 break;
@@ -63,7 +65,7 @@ impl Autotuner for ActiveLearning {
                 fit_surrogate_kind(self.surrogate, &fm, &measured, seed ^ measured.len() as u64);
         }
 
-        let scores = score_pool(&fm, model.as_ref(), pool);
+        let scores = model.predict_batch(&enc_pool);
         TunerRun::from_scores(pool, scores, measured, Vec::new())
     }
 }

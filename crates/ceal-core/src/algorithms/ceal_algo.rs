@@ -16,7 +16,7 @@
 //! (lines 23–24), and finally return `M_H`.
 
 use super::{
-    fit_surrogate_kind, measure_indices, random_unmeasured, score_pool, select_top_unmeasured,
+    encode_pool, fit_surrogate_kind, measure_indices, random_unmeasured, select_top_unmeasured,
     Autotuner, SurrogateKind, TunerRun,
 };
 use crate::acm::{CombineFn, ComponentModels, LowFidelityModel};
@@ -212,6 +212,12 @@ impl Autotuner for Ceal {
         let mut measured = Vec::with_capacity(coupled_budget);
         let mut runs_left = coupled_budget;
 
+        // The pool is fixed for the whole run: encode it once for batched
+        // surrogate scoring. Measured configurations are encoded as they
+        // arrive, keeping `enc_meas` aligned with `measured`.
+        let enc_pool = encode_pool(&fm, pool);
+        let mut enc_meas = ceal_ml::Dataset::new(fm.n_features());
+
         // Line 7: m0/2 random seeds.
         let seeds = random_unmeasured(&measured_idx, m0_used.min(runs_left), &mut rng);
         // Lines 9–10: top m_B by the low-fidelity model.
@@ -243,6 +249,9 @@ impl Autotuner for Ceal {
             measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured);
             runs_left -= measured.len() - new_start;
             batch.clear();
+            for mm in &measured[new_start..] {
+                enc_meas.push_row(&fm.encode(&mm.config), 0.0);
+            }
 
             let mut random_topup = 0usize;
             if !using_high && self.params.switch_mode != SwitchMode::NeverSwitch {
@@ -251,10 +260,7 @@ impl Autotuner for Ceal {
                 // batch) is validated against the enlarged measured set.
                 if let (Some(mh), true) = (&mh, measured.len() >= 3) {
                     let truths: Vec<f64> = measured.iter().map(|mm| mm.value).collect();
-                    let mh_scores: Vec<f64> = measured
-                        .iter()
-                        .map(|mm| mh.predict_row(&fm.encode(&mm.config)))
-                        .collect();
+                    let mh_scores = mh.predict_batch(&enc_meas);
                     let ml_scores_meas: Vec<f64> =
                         measured.iter().map(|mm| ml.score(&mm.config)).collect();
                     let s_h: f64 = (1..=3).map(|n| recall_score(n, &mh_scores, &truths)).sum();
@@ -302,7 +308,7 @@ impl Autotuner for Ceal {
             // model and stage the next batch.
             let scores = if using_high {
                 let model = mh.as_ref().expect("M_H trained before any switch");
-                score_pool(&fm, model.as_ref(), pool)
+                model.predict_batch(&enc_pool)
             } else {
                 ml_scores.clone()
             };
@@ -333,7 +339,7 @@ impl Autotuner for Ceal {
         // Return M_H (line 28); the searcher ranks the pool with it.
         let mh =
             mh.unwrap_or_else(|| fit_surrogate_kind(self.params.surrogate, &fm, &measured, seed));
-        let scores = score_pool(&fm, mh.as_ref(), pool);
+        let scores = mh.predict_batch(&enc_pool);
         TunerRun::from_scores(pool, scores, measured, component_runs)
     }
 }

@@ -16,7 +16,7 @@
 //! uses, driven by their own ensemble prediction, and spend part of the
 //! budget on component solo runs to build the AM (like CEAL).
 
-use super::{measure_indices, random_unmeasured, Autotuner, TunerRun};
+use super::{encode_pool, measure_indices, random_unmeasured, Autotuner, TunerRun};
 use crate::acm::{CombineFn, ComponentModels, LowFidelityModel};
 use crate::features::FeatureMap;
 use crate::history::ComponentHistory;
@@ -78,15 +78,28 @@ impl EnsembleTuner {
     }
 }
 
+/// One round's ensemble predictor, built from batched model evaluations.
+///
+/// The AM and ML parts are evaluated over the whole pool and the measured
+/// set up front (`predict_batch` on the pre-encoded pool), so per-config
+/// prediction only combines precomputed scores — the per-query work left is
+/// the KNN/probing nearest-neighbor lookup.
 struct EnsembleModel<'a> {
     kind: EnsembleKind,
     k: usize,
     probe_threshold: f64,
-    am: &'a LowFidelityModel,
-    ml: Option<GradientBoosting>,
-    residual: Option<GradientBoosting>,
     fm: &'a FeatureMap,
     measured: &'a [Measurement],
+    /// AM scores over the pool (fixed for the whole run).
+    am_pool: &'a [f64],
+    /// AM scores of the measured configurations, aligned with `measured`.
+    am_meas: &'a [f64],
+    /// This round's ML predictions over the pool.
+    ml_pool: Vec<f64>,
+    /// This round's ML predictions on the measured configurations.
+    ml_meas: Vec<f64>,
+    /// HyBoost residual predictions over the pool.
+    res_pool: Option<Vec<f64>>,
 }
 
 impl EnsembleModel<'_> {
@@ -102,42 +115,43 @@ impl EnsembleModel<'_> {
         idx
     }
 
-    fn predict(&self, config: &[i64]) -> f64 {
-        let am_pred = self.am.score(config);
+    /// Ensemble prediction for pool index `i` (`config == pool[i]`).
+    fn predict_idx(&self, i: usize, config: &[i64]) -> f64 {
+        let am_pred = self.am_pool[i];
         match self.kind {
-            EnsembleKind::HyBoost => match &self.residual {
-                Some(r) => am_pred + r.predict_row(&self.fm.encode(config)),
+            EnsembleKind::HyBoost => match &self.res_pool {
+                Some(r) => am_pred + r[i],
                 None => am_pred,
             },
             EnsembleKind::Knn => {
-                let (Some(ml), false) = (&self.ml, self.measured.is_empty()) else {
+                if self.measured.is_empty() {
                     return am_pred;
-                };
+                }
                 let nn = self.nearest(config);
                 let mut am_err = 0.0;
                 let mut ml_err = 0.0;
-                for &i in &nn {
-                    let m = &self.measured[i];
-                    am_err += (self.am.score(&m.config) - m.value).abs();
-                    ml_err += (ml.predict_row(&self.fm.encode(&m.config)) - m.value).abs();
+                for &j in &nn {
+                    let m = &self.measured[j];
+                    am_err += (self.am_meas[j] - m.value).abs();
+                    ml_err += (self.ml_meas[j] - m.value).abs();
                 }
                 if ml_err < am_err {
-                    ml.predict_row(&self.fm.encode(config))
+                    self.ml_pool[i]
                 } else {
                     am_pred
                 }
             }
             EnsembleKind::Probing => {
-                let (Some(ml), false) = (&self.ml, self.measured.is_empty()) else {
+                if self.measured.is_empty() {
                     return am_pred;
-                };
+                }
                 let nn = self.nearest(config);
                 let m = &self.measured[nn[0]];
-                let rel = ((self.am.score(&m.config) - m.value) / m.value.max(1e-12)).abs();
+                let rel = ((self.am_meas[nn[0]] - m.value) / m.value.max(1e-12)).abs();
                 if rel <= self.probe_threshold {
                     am_pred
                 } else {
-                    ml.predict_row(&self.fm.encode(config))
+                    self.ml_pool[i]
                 }
             }
         }
@@ -186,23 +200,35 @@ impl Autotuner for EnsembleTuner {
         let mut measured_idx = vec![false; pool.len()];
         let mut measured: Vec<Measurement> = Vec::with_capacity(coupled_budget);
 
+        // The pool and the AM are fixed for the run: encode and score them
+        // once. Measured configs accumulate, encoded/AM-scored as they come.
+        let enc_pool = encode_pool(&fm, pool);
+        let am_pool = am.score_all(pool);
+        let mut enc_meas = Dataset::new(fm.n_features());
+        let mut am_meas: Vec<f64> = Vec::with_capacity(coupled_budget);
+
         let first = random_unmeasured(&measured_idx, batch.min(coupled_budget), &mut rng);
         measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured);
 
         loop {
-            // (Re)train the ML parts on everything measured so far.
-            let rows: Vec<Vec<f64>> = measured.iter().map(|m| fm.encode(&m.config)).collect();
-            let ys: Vec<f64> = measured.iter().map(|m| m.value).collect();
+            for m in &measured[enc_meas.n_rows()..] {
+                enc_meas.push_row(&fm.encode(&m.config), m.value);
+                am_meas.push(am.score(&m.config));
+            }
+            // (Re)train the ML parts on everything measured so far, then
+            // evaluate them over the pool and the measured set in one batch
+            // each.
             let mut ml_model = GradientBoosting::new(GbtParams::small_sample(seed));
-            ml_model.fit(&Dataset::from_rows(&rows, &ys));
-            let residual = if self.kind == EnsembleKind::HyBoost {
-                let res: Vec<f64> = measured
-                    .iter()
-                    .map(|m| m.value - am.score(&m.config))
-                    .collect();
+            ml_model.fit(&enc_meas);
+            let res_pool = if self.kind == EnsembleKind::HyBoost {
+                // Same encoded rows, retargeted to the AM residuals.
+                let mut train = Dataset::new(fm.n_features());
+                for (j, (m, am)) in measured.iter().zip(&am_meas).enumerate() {
+                    train.push_row(enc_meas.row(j), m.value - am);
+                }
                 let mut r = GradientBoosting::new(GbtParams::small_sample(seed ^ 1));
-                r.fit(&Dataset::from_rows(&rows, &res));
-                Some(r)
+                r.fit(&train);
+                Some(r.predict_batch(&enc_pool))
             } else {
                 None
             };
@@ -210,22 +236,32 @@ impl Autotuner for EnsembleTuner {
                 kind: self.kind,
                 k: self.k,
                 probe_threshold: self.probe_threshold,
-                am: &am,
-                ml: Some(ml_model),
-                residual,
                 fm: &fm,
                 measured: &measured,
+                am_pool: &am_pool,
+                am_meas: &am_meas,
+                ml_pool: ml_model.predict_batch(&enc_pool),
+                ml_meas: ml_model.predict_batch(&enc_meas),
+                res_pool,
             };
 
             if measured.len() >= coupled_budget {
                 // Final scoring pass.
-                let scores: Vec<f64> = pool.iter().map(|c| model.predict(c)).collect();
+                let scores: Vec<f64> = pool
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| model.predict_idx(i, c))
+                    .collect();
                 return TunerRun::from_scores(pool, scores, measured, component_runs);
             }
 
             let take = batch.min(coupled_budget - measured.len());
             let mut cand: Vec<usize> = (0..pool.len()).filter(|&i| !measured_idx[i]).collect();
-            let scores: Vec<f64> = pool.iter().map(|c| model.predict(c)).collect();
+            let scores: Vec<f64> = pool
+                .iter()
+                .enumerate()
+                .map(|(i, c)| model.predict_idx(i, c))
+                .collect();
             cand.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
             cand.truncate(take);
             measure_indices(oracle, pool, &cand, &mut measured_idx, &mut measured);

@@ -183,11 +183,24 @@ pub fn fit_surrogate_samples(
     }
 }
 
+/// Encodes every pool configuration into one feature [`Dataset`] (targets
+/// are unused and zero-filled).
+///
+/// The candidate pool is fixed for a tuning run, so callers that score it
+/// repeatedly should encode it once and reuse the dataset with
+/// [`Regressor::predict_batch`] — encoding allocates a feature row per
+/// configuration and dominates the scoring loop otherwise.
+pub fn encode_pool(fm: &FeatureMap, pool: &[Vec<i64>]) -> Dataset {
+    let rows: Vec<Vec<f64>> = pool.iter().map(|c| fm.encode(c)).collect();
+    Dataset::from_rows(&rows, &vec![0.0; rows.len()])
+}
+
 /// Predicts a surrogate over every pool configuration.
+///
+/// Encodes the pool on each call; loops that score a fixed pool repeatedly
+/// should hoist [`encode_pool`] and call `predict_batch` themselves.
 pub(crate) fn score_pool(fm: &FeatureMap, model: &dyn Regressor, pool: &[Vec<i64>]) -> Vec<f64> {
-    pool.iter()
-        .map(|c| model.predict_row(&fm.encode(c)))
-        .collect()
+    model.predict_batch(&encode_pool(fm, pool))
 }
 
 /// Picks the `k` best-scoring pool indices among those not yet measured.

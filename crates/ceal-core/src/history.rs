@@ -157,14 +157,7 @@ mod tests {
         let mut h = ComponentHistory::empty(2);
         h.push(0, vec![10, 2], 3.25);
         h.push(1, vec![7], 0.5);
-        // Unique per process AND per call: concurrent test binaries (and
-        // reruns within one) must not race on a shared fixed path.
-        static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-        let path = std::env::temp_dir().join(format!(
-            "ceal-history-roundtrip-{}-{}.json",
-            std::process::id(),
-            NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
-        ));
+        let path = ceal_testutil::unique_temp_path("ceal-history-roundtrip", "json");
         h.save(&path).unwrap();
         let loaded = ComponentHistory::load(&path).unwrap();
         assert_eq!(loaded, h);

@@ -32,7 +32,7 @@ pub mod oracle;
 pub mod pool;
 
 pub use acm::{CombineFn, ComponentModels, LowFidelityModel};
-pub use algorithms::fit_surrogate_samples;
+pub use algorithms::{encode_pool, fit_surrogate_samples};
 pub use algorithms::{
     ActiveLearning, Alph, Autotuner, BanditTuner, BayesOpt, Ceal, CealParams, EnsembleKind,
     EnsembleTuner, Geist, RandomSampling, SurrogateKind, SwitchMode, TunerRun,

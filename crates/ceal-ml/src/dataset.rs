@@ -69,6 +69,12 @@ impl Dataset {
         &self.features[i * self.n_features..(i + 1) * self.n_features]
     }
 
+    /// The raw row-major feature storage (`n_rows * n_features` values),
+    /// for batch kernels that index rows from one base offset.
+    pub(crate) fn feature_data(&self) -> &[f64] {
+        &self.features
+    }
+
     /// Target of row `i`.
     pub fn target(&self, i: usize) -> f64 {
         self.targets[i]

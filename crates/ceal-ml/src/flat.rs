@@ -1,0 +1,374 @@
+//! Flattened structure-of-arrays ensemble layout for fast batch prediction.
+//!
+//! [`RegressionTree`] stores nodes as an enum `Vec` — ergonomic for growth,
+//! slow for the pool-scoring hot loop: every step matches on a variant,
+//! chases a heterogeneous node, and takes a data-dependent branch that
+//! mispredicts about half the time on a diverse candidate pool. [`FlatTrees`]
+//! re-lays a fitted ensemble into parallel arrays indexed by one global node
+//! id: `threshold` (f64) and `meta` (feature id and left-child slot packed
+//! into one u64, so a descend step issues exactly three loads). Each split's
+//! two children occupy **adjacent slots** (`right = left + 1`), making the
+//! descend a branchless compare-and-add:
+//!
+//! ```text
+//! j = child[j] + (row[feature[j]] > threshold[j]) as usize
+//! ```
+//!
+//! Leaves are encoded as **self-loops**: `feature = 0`, `threshold = +∞`,
+//! `child = self`. `v > +∞` is false for every `v` (including NaN), so once
+//! a walk lands on a leaf it stays there, and the inner loop can run for the
+//! tree's full depth unconditionally — no per-step exit branch at all.
+//!
+//! `NaN > t` is false for every `t`, so NaN feature values route left,
+//! matching [`RegressionTree::predict_row`]. Per-row sums accumulate in
+//! tree order, and batch parallelism only splits across rows, so batch
+//! results are bit-identical to row-at-a-time prediction and independent of
+//! the worker count.
+
+use crate::dataset::Dataset;
+use crate::tree::{Node, RegressionTree};
+
+/// Minimum rows × tree-steps product before batch prediction fans out over
+/// the thread pool.
+const PAR_WORK_THRESHOLD: usize = 1 << 20;
+
+/// Upper bound on rows per batch block. Within a block the walk runs
+/// tree-outer / row-inner: consecutive rows are independent, so the CPU
+/// overlaps their pointer-chasing walks (the per-row chain of dependent
+/// loads is the bottleneck otherwise), while the block's rows and the
+/// active tree-pair's nodes stay cache-resident.
+const MAX_BLOCK_ROWS: usize = 256;
+
+/// Feature values a block may hold so its rows stay L1-resident while
+/// every tree re-reads them (~16 KiB of f64 plus node and output arrays).
+const BLOCK_VALUES: usize = 2048;
+
+/// Rows per block for `p`-wide rows: a multiple of 4 (the row-interleave
+/// width) between 16 and [`MAX_BLOCK_ROWS`].
+fn block_rows(p: usize) -> usize {
+    (BLOCK_VALUES / p.max(1)).clamp(16, MAX_BLOCK_ROWS) & !3
+}
+
+/// Number of bits the feature id is shifted by inside a `meta` word; the
+/// low half holds the left-child slot.
+const FEATURE_SHIFT: u32 = 32;
+
+/// A fitted tree ensemble flattened into structure-of-arrays form.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatTrees {
+    /// Per node: `feature << 32 | child`. `child` is the left-child slot of
+    /// a split (its right child lives at `child + 1`) or the node's own
+    /// slot for a leaf (self-loop).
+    meta: Vec<u64>,
+    /// Per node: split threshold, or `+∞` for a leaf.
+    threshold: Vec<f64>,
+    /// Leaf weight per node id (0 for splits); only read at walk end.
+    weight: Vec<f64>,
+    /// Largest feature id any node reads — validated against the row width
+    /// once per batch so the hot loop can skip per-step bounds checks.
+    max_feature: u32,
+    /// Tree `t` owns nodes `offsets[t]..offsets[t + 1]`; roots sit at
+    /// `offsets[t]`. Length `n_trees + 1`.
+    offsets: Vec<u32>,
+    /// Maximum leaf depth of each tree: the walk length.
+    depths: Vec<u32>,
+}
+
+impl FlatTrees {
+    /// Flattens fitted trees. Tree order is preserved; per-row sums run in
+    /// this order. Nodes are re-numbered breadth-first so every split's
+    /// children occupy adjacent slots (the branchless-descend invariant)
+    /// and shallow, hot nodes sit contiguously at the front of each tree.
+    pub fn from_trees(trees: &[RegressionTree]) -> Self {
+        let total: usize = trees.iter().map(|t| t.n_nodes()).sum();
+        assert!(total < u32::MAX as usize, "ensemble exceeds u32 node ids");
+        let mut flat = Self {
+            meta: vec![0; total],
+            threshold: vec![0.0; total],
+            weight: vec![0.0; total],
+            max_feature: 0,
+            offsets: Vec::with_capacity(trees.len() + 1),
+            depths: Vec::with_capacity(trees.len()),
+        };
+        flat.offsets.push(0);
+        let mut queue = std::collections::VecDeque::new();
+        for tree in trees {
+            let nodes = tree.nodes();
+            let base = *flat.offsets.last().unwrap() as usize;
+            if nodes.is_empty() {
+                flat.offsets.push(base as u32);
+                flat.depths.push(0);
+                continue;
+            }
+            // Slot 0 of the tree is its root; splits allocate their two
+            // children as the next free pair.
+            let mut next = base + 1;
+            queue.clear();
+            queue.push_back((0usize, base));
+            while let Some((src, slot)) = queue.pop_front() {
+                match nodes[src] {
+                    Node::Leaf { weight } => {
+                        flat.meta[slot] = slot as u64;
+                        flat.threshold[slot] = f64::INFINITY;
+                        flat.weight[slot] = weight;
+                    }
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        flat.meta[slot] = ((feature as u64) << FEATURE_SHIFT) | next as u64;
+                        flat.threshold[slot] = threshold;
+                        flat.max_feature = flat.max_feature.max(feature as u32);
+                        queue.push_back((left, next));
+                        queue.push_back((right, next + 1));
+                        next += 2;
+                    }
+                }
+            }
+            debug_assert_eq!(next, base + nodes.len());
+            flat.offsets.push((base + nodes.len()) as u32);
+            flat.depths.push(tree.depth() as u32);
+        }
+        flat
+    }
+
+    /// Number of flattened trees.
+    pub fn n_trees(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// True when no trees have been flattened.
+    pub fn is_empty(&self) -> bool {
+        self.depths.is_empty()
+    }
+
+    /// One branchless descend: left child at `child`, right adjacent.
+    /// `NaN > t` compares false, routing left like the enum walker.
+    #[inline(always)]
+    fn step(&self, j: usize, row: &[f64]) -> usize {
+        let m = self.meta[j];
+        let f = (m >> FEATURE_SHIFT) as usize;
+        (m as u32) as usize + (row[f] > self.threshold[j]) as usize
+    }
+
+    /// [`Self::step`] against a span of consecutive rows, without per-step
+    /// bounds checks, for the batch hot loop. `off` is the row's base
+    /// offset inside `span` (a multiple of the feature count).
+    ///
+    /// # Safety
+    ///
+    /// `j` must be a valid node id (roots from `offsets` and every stored
+    /// `child` are, by construction), and `span` must hold at least
+    /// `off + max_feature + 1` values — [`Self::predict_batch_sum`] asserts
+    /// the row width once per batch, and callers pass `off` at most
+    /// `span.len() - n_features`.
+    #[inline(always)]
+    unsafe fn step_unchecked(&self, j: usize, span: &[f64], off: usize) -> usize {
+        let m = *self.meta.get_unchecked(j);
+        let t = *self.threshold.get_unchecked(j);
+        let f = (m >> FEATURE_SHIFT) as usize;
+        (m as u32) as usize + (*span.get_unchecked(off + f) > t) as usize
+    }
+
+    #[inline]
+    fn walk(&self, t: usize, row: &[f64]) -> f64 {
+        let mut j = self.offsets[t] as usize;
+        for _ in 0..self.depths[t] {
+            j = self.step(j, row);
+        }
+        self.weight[j]
+    }
+
+    /// Sum of all trees' leaf weights for one feature row, accumulated in
+    /// tree order.
+    pub fn predict_row_sum(&self, row: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for t in 0..self.n_trees() {
+            acc += self.walk(t, row);
+        }
+        acc
+    }
+
+    /// Walks every tree for one block of rows, accumulating each row's sum
+    /// in tree order — the same left-fold [`Self::predict_row_sum`] uses,
+    /// so the result is bit-identical to the row-at-a-time walk.
+    ///
+    /// A single walk is a chain of dependent loads the CPU cannot pipeline,
+    /// but walks of different (row, tree) pairs are independent, so trees
+    /// are taken two at a time and rows four at a time: eight descends in
+    /// flight hide most of that latency, addressed off one shared span
+    /// pointer to keep the loop's live registers small. A pair shares one
+    /// loop of `max(depth)` steps — overshooting the shallower tree is
+    /// harmless because leaves self-loop. Each row still adds its two leaf
+    /// weights in tree order, so the per-row accumulation order is
+    /// untouched.
+    fn sum_block(&self, data: &Dataset, start: usize, end: usize) -> Vec<f64> {
+        let n = end - start;
+        let p = data.n_features();
+        let feats = data.feature_data();
+        let mut out = vec![0.0; n];
+        let n_trees = self.n_trees();
+        let mut t = 0;
+        while t + 2 <= n_trees {
+            let ra = self.offsets[t] as usize;
+            let rb = self.offsets[t + 1] as usize;
+            let depth = self.depths[t].max(self.depths[t + 1]);
+            let mut i = 0;
+            while i + 4 <= n {
+                let span = &feats[(start + i) * p..(start + i + 4) * p];
+                let (mut a0, mut a1, mut a2, mut a3) = (ra, ra, ra, ra);
+                let (mut b0, mut b1, mut b2, mut b3) = (rb, rb, rb, rb);
+                // SAFETY: node ids stay valid by construction; row offsets
+                // within the span are `k * p + f` with `k < 4` and
+                // `f <= max_feature < p` (asserted in `predict_batch_sum`).
+                unsafe {
+                    for _ in 0..depth {
+                        a0 = self.step_unchecked(a0, span, 0);
+                        a1 = self.step_unchecked(a1, span, p);
+                        a2 = self.step_unchecked(a2, span, 2 * p);
+                        a3 = self.step_unchecked(a3, span, 3 * p);
+                        b0 = self.step_unchecked(b0, span, 0);
+                        b1 = self.step_unchecked(b1, span, p);
+                        b2 = self.step_unchecked(b2, span, 2 * p);
+                        b3 = self.step_unchecked(b3, span, 3 * p);
+                    }
+                }
+                out[i] += self.weight[a0];
+                out[i] += self.weight[b0];
+                out[i + 1] += self.weight[a1];
+                out[i + 1] += self.weight[b1];
+                out[i + 2] += self.weight[a2];
+                out[i + 2] += self.weight[b2];
+                out[i + 3] += self.weight[a3];
+                out[i + 3] += self.weight[b3];
+                i += 4;
+            }
+            while i < n {
+                let row = data.row(start + i);
+                let (mut a, mut b) = (ra, rb);
+                for _ in 0..depth {
+                    a = self.step(a, row);
+                    b = self.step(b, row);
+                }
+                out[i] += self.weight[a];
+                out[i] += self.weight[b];
+                i += 1;
+            }
+            t += 2;
+        }
+        if t < n_trees {
+            let root = self.offsets[t] as usize;
+            let depth = self.depths[t];
+            for (acc, i) in out.iter_mut().zip(start..end) {
+                let row = data.row(i);
+                let mut j = root;
+                for _ in 0..depth {
+                    j = self.step(j, row);
+                }
+                *acc += self.weight[j];
+            }
+        }
+        out
+    }
+
+    /// Per-row tree-weight sums for every row of `data` — bit-identical to
+    /// calling [`Self::predict_row_sum`] per row, for any worker count.
+    ///
+    /// Rows are processed in blocks; parallelism (when the batch is large
+    /// enough to amortize thread spawns) only distributes whole blocks, and
+    /// block results are stitched back in input order.
+    pub fn predict_batch_sum(&self, data: &Dataset) -> Vec<f64> {
+        let n = data.n_rows();
+        // The hot loop indexes rows without per-step bounds checks; check
+        // the width once here instead.
+        assert!(
+            self.meta.is_empty() || n == 0 || data.n_features() > self.max_feature as usize,
+            "batch rows have {} features but the ensemble reads feature {}",
+            data.n_features(),
+            self.max_feature
+        );
+        let steps: usize = self.depths.iter().map(|&d| d as usize).sum();
+        let block = block_rows(data.n_features());
+        let blocks: Vec<(usize, usize)> = (0..n)
+            .step_by(block)
+            .map(|s| (s, (s + block).min(n)))
+            .collect();
+        let parts: Vec<Vec<f64>> = if n * steps.max(1) >= PAR_WORK_THRESHOLD {
+            ceal_par::parallel_map(&blocks, |&(s, e)| self.sum_block(data, s, e))
+        } else {
+            blocks
+                .iter()
+                .map(|&(s, e)| self.sum_block(data, s, e))
+                .collect()
+        };
+        parts.concat()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeParams;
+
+    fn fitted_trees() -> (Vec<RegressionTree>, Dataset) {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 8) as f64, (i % 5) as f64])
+            .collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1] * r[1]).collect();
+        let data = Dataset::from_rows(&rows, &ys);
+        let idx: Vec<usize> = (0..40).collect();
+        let trees = vec![
+            RegressionTree::fit_targets(&data, &idx, &[0, 1], TreeParams::default()),
+            RegressionTree::fit_targets(
+                &data,
+                &idx,
+                &[0],
+                TreeParams {
+                    max_depth: 2,
+                    ..Default::default()
+                },
+            ),
+        ];
+        (trees, data)
+    }
+
+    #[test]
+    fn flat_matches_enum_walk_exactly() {
+        let (trees, data) = fitted_trees();
+        let flat = FlatTrees::from_trees(&trees);
+        assert_eq!(flat.n_trees(), 2);
+        for i in 0..data.n_rows() {
+            let row = data.row(i);
+            let want: f64 = trees.iter().map(|t| t.predict_row(row)).sum();
+            assert_eq!(flat.predict_row_sum(row), want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_row_at_a_time() {
+        let (trees, data) = fitted_trees();
+        let flat = FlatTrees::from_trees(&trees);
+        let batch = flat.predict_batch_sum(&data);
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(b, flat.predict_row_sum(data.row(i)));
+        }
+    }
+
+    #[test]
+    fn nan_routes_left_like_enum_walker() {
+        let (trees, _) = fitted_trees();
+        let flat = FlatTrees::from_trees(&trees);
+        let row = [f64::NAN, 1.0];
+        let want: f64 = trees.iter().map(|t| t.predict_row(&row)).sum();
+        assert_eq!(flat.predict_row_sum(&row), want);
+    }
+
+    #[test]
+    fn empty_ensemble_sums_to_zero() {
+        let flat = FlatTrees::from_trees(&[]);
+        assert!(flat.is_empty());
+        assert_eq!(flat.predict_row_sum(&[1.0]), 0.0);
+    }
+}

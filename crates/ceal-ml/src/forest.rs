@@ -5,7 +5,9 @@
 //! traditional few-sample-friendly models; the forest serves as an
 //! alternative surrogate in the ablation benches.
 
+use crate::binned::{BinnedDataset, DEFAULT_MAX_BINS};
 use crate::dataset::Dataset;
+use crate::flat::FlatTrees;
 use crate::tree::{RegressionTree, TreeParams};
 use crate::Regressor;
 use rand::seq::SliceRandom;
@@ -48,6 +50,9 @@ impl Default for RandomForestParams {
 pub struct RandomForest {
     params: RandomForestParams,
     trees: Vec<RegressionTree>,
+    /// SoA mirror of `trees`, rebuilt at the end of `fit`; prediction
+    /// walks this, never the enum nodes.
+    flat: FlatTrees,
 }
 
 impl RandomForest {
@@ -56,12 +61,18 @@ impl RandomForest {
         Self {
             params,
             trees: Vec::new(),
+            flat: FlatTrees::default(),
         }
     }
 
     /// Number of fitted trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// The fitted trees, in bagging order.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
     }
 }
 
@@ -71,6 +82,16 @@ impl Regressor for RandomForest {
         let n = data.n_rows();
         let p = data.n_features();
         let p_sub = ((p as f64 * self.params.colsample).round() as usize).clamp(1, p.max(1));
+
+        // Bin features and derive mean-leaf gradients (`g = -y`, `h = 1`,
+        // `lambda = 0`) once; every tree shares them.
+        let binned = BinnedDataset::from_dataset(data, DEFAULT_MAX_BINS);
+        let grad: Vec<f64> = data.targets().iter().map(|y| -y).collect();
+        let hess = vec![1.0; n];
+        let tree_params = TreeParams {
+            lambda: 0.0,
+            ..self.params.tree
+        };
 
         // Pre-draw per-tree seeds so tree fitting can run in parallel while
         // remaining deterministic.
@@ -83,15 +104,28 @@ impl Regressor for RandomForest {
             let mut feats: Vec<usize> = (0..p).collect();
             feats.shuffle(&mut rng);
             feats.truncate(p_sub);
-            RegressionTree::fit_targets(data, &rows, &feats, self.params.tree)
+            RegressionTree::fit_binned(&binned, &grad, &hess, &rows, &feats, tree_params)
         });
+        self.flat = FlatTrees::from_trees(&self.trees);
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         if self.trees.is_empty() {
             return 0.0;
         }
-        self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+        self.flat.predict_row_sum(row) / self.trees.len() as f64
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f64> {
+        if self.trees.is_empty() {
+            return vec![0.0; data.n_rows()];
+        }
+        let scale = self.trees.len() as f64;
+        let mut out = self.flat.predict_batch_sum(data);
+        for y in &mut out {
+            *y /= scale;
+        }
+        out
     }
 
     fn is_fitted(&self) -> bool {

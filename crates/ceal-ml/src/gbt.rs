@@ -6,7 +6,9 @@
 //! per-tree column subsampling provide stochastic regularization, matching
 //! the `xgboost.XGBRegressor` defaults the paper tunes with.
 
+use crate::binned::{BinnedDataset, DEFAULT_MAX_BINS};
 use crate::dataset::Dataset;
+use crate::flat::FlatTrees;
 use crate::tree::{RegressionTree, TreeParams};
 use crate::Regressor;
 use rand::seq::SliceRandom;
@@ -71,6 +73,9 @@ pub struct GradientBoosting {
     params: GbtParams,
     base_score: f64,
     trees: Vec<RegressionTree>,
+    /// SoA mirror of `trees`, rebuilt at the end of `fit`; prediction
+    /// walks this, never the enum nodes.
+    flat: FlatTrees,
 }
 
 impl GradientBoosting {
@@ -80,6 +85,7 @@ impl GradientBoosting {
             params,
             base_score: 0.0,
             trees: Vec::new(),
+            flat: FlatTrees::default(),
         }
     }
 
@@ -91,6 +97,11 @@ impl GradientBoosting {
     /// Number of fitted trees.
     pub fn n_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// The fitted trees, in boosting order.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
     }
 
     /// Training RMSE trajectory is monotone under full-batch fitting; this
@@ -126,6 +137,7 @@ impl Regressor for GradientBoosting {
 
         let n = data.n_rows();
         let p = data.n_features();
+        let binned = BinnedDataset::from_dataset(data, DEFAULT_MAX_BINS);
         let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
         let mut pred = vec![self.base_score; n];
         let mut grad = vec![0.0; n];
@@ -156,20 +168,25 @@ impl Regressor for GradientBoosting {
                 all_feats.clone()
             };
             let tree =
-                RegressionTree::fit_gradients(data, &grad, &hess, &rows, &feats, self.params.tree);
+                RegressionTree::fit_binned(&binned, &grad, &hess, &rows, &feats, self.params.tree);
             for (i, p) in pred.iter_mut().enumerate() {
                 *p += self.params.learning_rate * tree.predict_row(data.row(i));
             }
             self.trees.push(tree);
         }
+        self.flat = FlatTrees::from_trees(&self.trees);
     }
 
     fn predict_row(&self, row: &[f64]) -> f64 {
-        let mut y = self.base_score;
-        for tree in &self.trees {
-            y += self.params.learning_rate * tree.predict_row(row);
+        self.base_score + self.params.learning_rate * self.flat.predict_row_sum(row)
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f64> {
+        let mut out = self.flat.predict_batch_sum(data);
+        for y in &mut out {
+            *y = self.base_score + self.params.learning_rate * *y;
         }
-        y
+        out
     }
 
     fn is_fitted(&self) -> bool {

@@ -16,8 +16,10 @@
 //! All randomized fitting is seeded explicitly so experiments are exactly
 //! reproducible.
 
+pub mod binned;
 pub mod cv;
 pub mod dataset;
+pub mod flat;
 pub mod forest;
 pub mod gbt;
 pub mod gp;
@@ -26,7 +28,9 @@ pub mod linear;
 pub mod metrics;
 pub mod tree;
 
+pub use binned::{BinnedDataset, DEFAULT_MAX_BINS};
 pub use dataset::Dataset;
+pub use flat::FlatTrees;
 pub use forest::{RandomForest, RandomForestParams};
 pub use gbt::{GbtParams, GradientBoosting};
 pub use gp::{expected_improvement, GaussianProcess, GpParams};

@@ -6,16 +6,22 @@
 //! squared loss) and plain target fitting (`g = -target`, `h = 1`, giving
 //! mean-value leaves), as used by the random forest.
 //!
-//! Splits are found by exact greedy enumeration: each node sorts its rows by
-//! each candidate feature and scans prefix sums of `G`/`H`, scoring
+//! Split scoring follows Chen & Guestrin (KDD '16), the model the paper's
+//! tuner uses:
 //!
 //! ```text
 //! gain = 1/2 * ( GL²/(HL+λ) + GR²/(HR+λ) − G²/(H+λ) ) − γ
 //! ```
 //!
-//! Leaf weight is `−G/(H+λ)`. This matches Chen & Guestrin (KDD '16), the
-//! model the paper's tuner uses.
+//! with leaf weight `−G/(H+λ)`. Two split-search strategies share that
+//! criterion: [`RegressionTree::fit_gradients`] quantizes features and
+//! scans per-bin histograms (the fast default, see [`crate::binned`]),
+//! while [`RegressionTree::fit_gradients_exact`] keeps the original exact
+//! greedy enumeration — each node sorts its rows by each candidate feature
+//! and scans prefix sums of `G`/`H` — as the reference the binned path is
+//! tested and benchmarked against.
 
+use crate::binned::{BinnedDataset, DEFAULT_MAX_BINS};
 use crate::dataset::Dataset;
 
 /// Hyperparameters controlling tree growth.
@@ -46,7 +52,7 @@ impl Default for TreeParams {
 }
 
 #[derive(Debug, Clone, PartialEq)]
-enum Node {
+pub(crate) enum Node {
     Leaf {
         weight: f64,
     },
@@ -178,13 +184,47 @@ impl<'a> Grower<'a> {
 }
 
 impl RegressionTree {
+    pub(crate) fn from_parts(nodes: Vec<Node>, split_gains: Vec<(usize, f64)>) -> Self {
+        Self { nodes, split_gains }
+    }
+
+    pub(crate) fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
     /// Fits a tree to gradient statistics over `rows` of `data`, considering
     /// only the features in `features`.
+    ///
+    /// Quantizes the dataset and grows via histogram split finding
+    /// ([`RegressionTree::fit_binned`]). Callers fitting many trees on one
+    /// dataset should build the [`BinnedDataset`] themselves and call
+    /// `fit_binned` directly so the quantization is paid once.
     ///
     /// # Panics
     /// Panics if `grad`/`hess` are shorter than the dataset, or `rows` is
     /// empty.
     pub fn fit_gradients(
+        data: &Dataset,
+        grad: &[f64],
+        hess: &[f64],
+        rows: &[usize],
+        features: &[usize],
+        params: TreeParams,
+    ) -> Self {
+        let binned = BinnedDataset::from_dataset(data, DEFAULT_MAX_BINS);
+        Self::fit_binned(&binned, grad, hess, rows, features, params)
+    }
+
+    /// Fits a tree by exact greedy split enumeration (per-node sorts).
+    ///
+    /// This is the reference implementation the histogram path is validated
+    /// against in tests and benchmarked against in `ceal-bench`; production
+    /// callers use [`RegressionTree::fit_gradients`].
+    ///
+    /// # Panics
+    /// Panics if `grad`/`hess` are shorter than the dataset, or `rows` is
+    /// empty.
+    pub fn fit_gradients_exact(
         data: &Dataset,
         grad: &[f64],
         hess: &[f64],

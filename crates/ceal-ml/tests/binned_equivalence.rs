@@ -1,0 +1,197 @@
+//! Equivalence of histogram-based split finding against the exact-greedy
+//! reference.
+//!
+//! With at least as many bins as distinct feature values, the binned
+//! candidate-split set equals the exact one, so on integer-valued data
+//! (where gradient/hessian sums are exact in f64) training-row predictions
+//! are bit-identical. With fewer bins the splits are quantile-approximate
+//! and only accuracy is guaranteed.
+
+use ceal_ml::{BinnedDataset, Dataset, GbtParams, GradientBoosting, Regressor};
+use ceal_ml::{RegressionTree, TreeParams, DEFAULT_MAX_BINS};
+
+/// Deterministic integer-valued dataset: sums of `g = -y`, `h = 1` are
+/// exact in f64, so binned and exact trees agree bit-for-bit.
+fn integer_dataset(n: usize, p: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<f64> = (0..p).map(|j| ((i * 31 + j * 17) % 13) as f64).collect();
+        let y: f64 = row
+            .iter()
+            .enumerate()
+            .map(|(j, v)| (j + 1) as f64 * v)
+            .sum();
+        rows.push(row);
+        ys.push(y);
+    }
+    Dataset::from_rows(&rows, &ys)
+}
+
+/// Continuous dataset (fractional values) for tolerance-based checks.
+fn continuous_dataset(n: usize, p: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<f64> = (0..p)
+            .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+            .collect();
+        let y: f64 = row
+            .iter()
+            .enumerate()
+            .map(|(j, v)| (j + 1) as f64 * v * v)
+            .sum();
+        rows.push(row);
+        ys.push(y);
+    }
+    Dataset::from_rows(&rows, &ys)
+}
+
+#[test]
+fn single_tree_bit_identical_on_integer_data() {
+    let data = integer_dataset(120, 4);
+    let grad: Vec<f64> = data.targets().iter().map(|y| -y).collect();
+    let hess = vec![1.0; data.n_rows()];
+    let rows: Vec<usize> = (0..data.n_rows()).collect();
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+    for max_depth in [1, 3, 6] {
+        let params = TreeParams {
+            max_depth,
+            ..Default::default()
+        };
+        let exact = RegressionTree::fit_gradients_exact(&data, &grad, &hess, &rows, &feats, params);
+        let binned = RegressionTree::fit_gradients(&data, &grad, &hess, &rows, &feats, params);
+        assert_eq!(exact.n_leaves(), binned.n_leaves(), "depth {max_depth}");
+        assert_eq!(exact.depth(), binned.depth(), "depth {max_depth}");
+        for i in 0..data.n_rows() {
+            let row = data.row(i);
+            assert_eq!(
+                exact.predict_row(row),
+                binned.predict_row(row),
+                "depth {max_depth}, training row {i} differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_tree_bit_identical_on_row_subsets() {
+    // Node-level sums run over subsets; exercise the partition paths too.
+    let data = integer_dataset(90, 3);
+    let grad: Vec<f64> = data.targets().iter().map(|y| -y).collect();
+    let hess = vec![1.0; data.n_rows()];
+    let rows: Vec<usize> = (0..data.n_rows()).filter(|i| i % 3 != 0).collect();
+    let feats = [0usize, 2];
+    let params = TreeParams {
+        max_depth: 5,
+        min_samples_leaf: 2,
+        ..Default::default()
+    };
+    let exact = RegressionTree::fit_gradients_exact(&data, &grad, &hess, &rows, &feats, params);
+    let binned = RegressionTree::fit_gradients(&data, &grad, &hess, &rows, &feats, params);
+    for &i in &rows {
+        assert_eq!(
+            exact.predict_row(data.row(i)),
+            binned.predict_row(data.row(i))
+        );
+    }
+}
+
+#[test]
+fn boosting_matches_exact_reference_within_tolerance() {
+    // Replicate the boosting loop with exact-greedy trees and compare the
+    // production (binned) GradientBoosting against it. Gradients become
+    // fractional after round one, so sums may differ in the last ulp — the
+    // comparison is tight-tolerance, not bitwise.
+    let data = continuous_dataset(200, 5);
+    let params = GbtParams {
+        n_rounds: 40,
+        learning_rate: 0.1,
+        subsample: 1.0,
+        colsample: 1.0,
+        ..Default::default()
+    };
+
+    let n = data.n_rows();
+    let base = data.target_mean();
+    let mut pred = vec![base; n];
+    let mut grad = vec![0.0; n];
+    let hess = vec![1.0; n];
+    let rows: Vec<usize> = (0..n).collect();
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+    let mut exact_trees = Vec::new();
+    for _ in 0..params.n_rounds {
+        for ((g, p), y) in grad.iter_mut().zip(&pred).zip(data.targets()) {
+            *g = p - y;
+        }
+        let tree =
+            RegressionTree::fit_gradients_exact(&data, &grad, &hess, &rows, &feats, params.tree);
+        for (i, p) in pred.iter_mut().enumerate() {
+            *p += params.learning_rate * tree.predict_row(data.row(i));
+        }
+        exact_trees.push(tree);
+    }
+
+    let mut gbt = GradientBoosting::new(params);
+    gbt.fit(&data);
+    let got = gbt.predict_batch(&data);
+    for (i, &g) in got.iter().enumerate() {
+        let want: f64 = base
+            + params.learning_rate
+                * exact_trees
+                    .iter()
+                    .map(|t| t.predict_row(data.row(i)))
+                    .sum::<f64>();
+        let tol = 1e-9 * want.abs().max(1.0);
+        assert!(
+            (g - want).abs() <= tol,
+            "row {i}: binned {g} vs exact {want}"
+        );
+    }
+}
+
+#[test]
+fn coarse_bins_stay_accurate() {
+    // Far fewer bins than distinct values: splits are quantile-approximate
+    // but the tree must still explain most of the variance the exact tree
+    // does.
+    let data = continuous_dataset(300, 4);
+    let grad: Vec<f64> = data.targets().iter().map(|y| -y).collect();
+    let hess = vec![1.0; data.n_rows()];
+    let rows: Vec<usize> = (0..data.n_rows()).collect();
+    let feats: Vec<usize> = (0..data.n_features()).collect();
+    let params = TreeParams {
+        max_depth: 5,
+        lambda: 0.0,
+        ..Default::default()
+    };
+
+    let sse = |tree: &RegressionTree| -> f64 {
+        (0..data.n_rows())
+            .map(|i| {
+                let e = tree.predict_row(data.row(i)) - data.target(i);
+                e * e
+            })
+            .sum()
+    };
+    let exact = RegressionTree::fit_gradients_exact(&data, &grad, &hess, &rows, &feats, params);
+    let coarse = BinnedDataset::from_dataset(&data, 16);
+    assert!(coarse.n_bins(0) <= 16);
+    let binned = RegressionTree::fit_binned(&coarse, &grad, &hess, &rows, &feats, params);
+    let (e_exact, e_binned) = (sse(&exact), sse(&binned));
+    assert!(
+        e_binned <= e_exact * 1.5 + 1e-9,
+        "coarse-binned SSE {e_binned} much worse than exact {e_exact}"
+    );
+}
+
+#[test]
+fn default_bins_cover_small_distinct_counts() {
+    // Auto-tuning pools have few distinct parameter levels; the default
+    // budget must keep one bin per distinct value there.
+    let data = integer_dataset(500, 3);
+    let binned = BinnedDataset::from_dataset(&data, DEFAULT_MAX_BINS);
+    for f in 0..data.n_features() {
+        assert_eq!(binned.n_bins(f), 13, "feature {f} has 13 distinct levels");
+    }
+}

@@ -1,0 +1,82 @@
+//! Worker-count invariance: fit and predict results must be bit-identical
+//! for 1 worker, 2 workers, and the machine's available parallelism.
+//!
+//! The histogram builder accumulates each feature serially in row order and
+//! `ceal_par::parallel_map` returns results in input order, so thread count
+//! must never change a single bit of any model output. `CEAL_THREADS` is
+//! process-global, so everything lives in one `#[test]` to avoid races.
+
+use ceal_ml::{Dataset, GbtParams, GradientBoosting, RandomForest, RandomForestParams, Regressor};
+
+fn dataset(n: usize, p: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<f64> = (0..p)
+            .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+            .collect();
+        let y: f64 = row
+            .iter()
+            .enumerate()
+            .map(|(j, v)| (j + 1) as f64 * v * v)
+            .sum();
+        rows.push(row);
+        ys.push(y);
+    }
+    Dataset::from_rows(&rows, &ys)
+}
+
+fn fit_predict(train: &Dataset, probe: &Dataset) -> (Vec<f64>, Vec<f64>) {
+    let mut gbt = GradientBoosting::new(GbtParams {
+        n_rounds: 25,
+        subsample: 0.8,
+        colsample: 0.8,
+        seed: 7,
+        ..Default::default()
+    });
+    gbt.fit(train);
+    let mut rf = RandomForest::new(RandomForestParams {
+        n_trees: 25,
+        seed: 7,
+        ..Default::default()
+    });
+    rf.fit(train);
+    (gbt.predict_batch(probe), rf.predict_batch(probe))
+}
+
+#[test]
+fn results_bit_identical_across_worker_counts() {
+    let train = dataset(400, 6);
+    // Large enough that batch prediction crosses the parallel threshold.
+    let probe = dataset(20_000, 6);
+
+    std::env::set_var("CEAL_THREADS", "1");
+    let (gbt_1, rf_1) = fit_predict(&train, &probe);
+
+    std::env::set_var("CEAL_THREADS", "2");
+    let (gbt_2, rf_2) = fit_predict(&train, &probe);
+
+    std::env::remove_var("CEAL_THREADS");
+    let threads = ceal_par::available_threads();
+    let (gbt_n, rf_n) = fit_predict(&train, &probe);
+
+    assert_eq!(gbt_1, gbt_2, "GBT differs between 1 and 2 workers");
+    assert_eq!(gbt_1, gbt_n, "GBT differs between 1 and {threads} workers");
+    assert_eq!(rf_1, rf_2, "forest differs between 1 and 2 workers");
+    assert_eq!(rf_1, rf_n, "forest differs between 1 and {threads} workers");
+
+    // Row-at-a-time prediction agrees with the batched path bit-for-bit.
+    std::env::set_var("CEAL_THREADS", "2");
+    let mut gbt = GradientBoosting::new(GbtParams {
+        n_rounds: 25,
+        subsample: 0.8,
+        colsample: 0.8,
+        seed: 7,
+        ..Default::default()
+    });
+    gbt.fit(&train);
+    for i in (0..probe.n_rows()).step_by(997) {
+        assert_eq!(gbt.predict_row(probe.row(i)), gbt_1[i], "row {i}");
+    }
+    std::env::remove_var("CEAL_THREADS");
+}

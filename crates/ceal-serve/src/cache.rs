@@ -205,7 +205,7 @@ mod tests {
     }
 
     fn temp_path(tag: &str) -> PathBuf {
-        std::env::temp_dir().join(format!("ceal-cache-{tag}-{}.json", std::process::id()))
+        ceal_testutil::unique_temp_path(&format!("ceal-cache-{tag}"), "json")
     }
 
     #[test]

@@ -22,10 +22,10 @@ use crate::metrics::{CountingOracle, ServerMetrics};
 use crate::protocol::{SessionStatus, TuneParams};
 use ceal_core::algorithms::SurrogateKind;
 use ceal_core::{
-    fit_surrogate_samples, sample_pool, ComponentHistory, FaultInjector, FeatureMap, MeasureError,
-    Oracle, SimOracle,
+    encode_pool, fit_surrogate_samples, sample_pool, ComponentHistory, FaultInjector, FeatureMap,
+    MeasureError, Oracle, SimOracle,
 };
-use ceal_ml::Regressor;
+use ceal_ml::{Dataset, Regressor};
 use ceal_sim::{Objective, Simulator, WorkflowSpec};
 use parking_lot::{Mutex, RwLock};
 use rand::{Rng, SeedableRng};
@@ -182,6 +182,9 @@ pub struct Session {
     params: TuneParams,
     oracle: SimOracle,
     pool: Vec<Vec<i64>>,
+    /// The pool encoded once at session creation; every surrogate scoring
+    /// pass runs batched over this instead of re-encoding per config.
+    encoded_pool: Dataset,
     fm: FeatureMap,
     phase: Phase,
     budget_left: u64,
@@ -217,6 +220,7 @@ impl Session {
             params,
             oracle,
             measured_idx: vec![false; pool.len()],
+            encoded_pool: encode_pool(&fm, &pool),
             pool,
             fm,
             phase: Phase::Created,
@@ -317,8 +321,7 @@ impl Session {
             &self.measured,
             self.params.seed,
         );
-        let scores: Vec<f64> =
-            ceal_par::parallel_map(&self.pool, |c| model.predict_row(&self.fm.encode(c)));
+        let scores = model.predict_batch(&self.encoded_pool);
         let mut best_i = 0;
         for (i, s) in scores.iter().enumerate() {
             if s < &scores[best_i] {
@@ -333,8 +336,7 @@ impl Session {
     /// under the current surrogate.
     fn top_unmeasured(&self, k: usize) -> Vec<usize> {
         let model = self.surrogate.as_ref().expect("surrogate fitted");
-        let scores: Vec<f64> =
-            ceal_par::parallel_map(&self.pool, |c| model.predict_row(&self.fm.encode(c)));
+        let scores = model.predict_batch(&self.encoded_pool);
         let mut idx: Vec<usize> = (0..self.pool.len())
             .filter(|&i| !self.measured_idx[i])
             .collect();
@@ -436,8 +438,9 @@ impl Session {
         }
     }
 
-    /// Scores `configs` with the trained surrogate, fanned out over the
-    /// worker pool.
+    /// Scores `configs` with the trained surrogate in one encoded batch
+    /// (the ensemble's batched SoA path fans large batches out over the
+    /// worker pool itself).
     pub fn predict(&self, configs: &[Vec<i64>]) -> Result<Vec<f64>, ServeError> {
         let Some(model) = self.surrogate.as_ref() else {
             return Err(ServeError::NotReady(format!(
@@ -448,9 +451,7 @@ impl Session {
         for cfg in configs {
             self.arity_check(cfg)?;
         }
-        Ok(ceal_par::parallel_map(configs, |c| {
-            model.predict_row(&self.fm.encode(c))
-        }))
+        Ok(model.predict_batch(&encode_pool(&self.fm, configs)))
     }
 
     /// Measures one ad-hoc configuration. Infeasible configurations come

@@ -7,7 +7,6 @@ use ceal::sim::{Objective, Simulator};
 use ceal::tuner::{sample_pool, Autotuner, Ceal, CealParams, Oracle, PoolOracle, SimOracle};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn start_server(cache_path: Option<std::path::PathBuf>) -> ServerHandle {
     let config = ServeConfig {
@@ -20,12 +19,7 @@ fn start_server(cache_path: Option<std::path::PathBuf>) -> ServerHandle {
 }
 
 fn temp_cache_path(tag: &str) -> std::path::PathBuf {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
-    std::env::temp_dir().join(format!(
-        "ceal-serve-it-{tag}-{}-{}.json",
-        std::process::id(),
-        NEXT.fetch_add(1, Ordering::Relaxed)
-    ))
+    ceal_testutil::unique_temp_path(&format!("ceal-serve-it-{tag}"), "json")
 }
 
 fn lv_params(seed: u64, budget: u64) -> TuneParams {
