@@ -2,17 +2,23 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:7070] [--workers N] [--cache tuning-cache.json]
-//!       [--idle-secs N]
+//!       [--idle-secs N] [--journal-dir DIR]
 //! ```
 //!
 //! Serves until a client sends a `Shutdown` request, then drains in-flight
 //! work and exits. Point the `tune` binary at it with `--remote ADDR`.
+//! With `--journal-dir`, every live session keeps a write-ahead journal
+//! there, and sessions that were live when the server died are rebuilt
+//! from their journals at the next start.
 
 use ceal_serve::{ServeConfig, Server};
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: serve [--addr HOST:PORT] [--workers N] [--cache file.json] [--idle-secs N]");
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--cache file.json] [--idle-secs N] \
+         [--journal-dir DIR]"
+    );
     std::process::exit(2);
 }
 
@@ -28,6 +34,7 @@ fn main() {
             "--addr" => config.addr = val(),
             "--workers" => config.workers = val().parse().unwrap_or_else(|_| usage()),
             "--cache" => config.cache_path = Some(val().into()),
+            "--journal-dir" => config.journal_dir = Some(val().into()),
             "--idle-secs" => {
                 config.idle_timeout = Duration::from_secs(val().parse().unwrap_or_else(|_| usage()))
             }

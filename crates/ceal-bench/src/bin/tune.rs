@@ -3,7 +3,8 @@
 //! ```text
 //! tune --workflow LV --objective comp --budget 50 [--algo ceal|al|rs|geist|bo|rl]
 //!      [--pool 2000] [--seed 0] [--history path.json] [--save-history path.json]
-//!      [--remote HOST:PORT]
+//!      [--remote HOST:PORT] [--journal run.wal [--resume]]
+//!      [--failure-rate P [--max-attempts N]]
 //! ```
 //!
 //! Prints the recommended configuration, its measured performance, and the
@@ -11,10 +12,18 @@
 //! campaign runs on a `serve` instance instead of in-process; results come
 //! back over the wire (possibly straight from the server's persistent cache)
 //! and are identical to the local path for the same seed.
+//!
+//! With `--journal` every paid-for measurement is committed to a write-ahead
+//! journal before the tuner sees it; a killed campaign restarted with
+//! `--resume` replays the journaled measurements for free and only pays for
+//! what the crash lost. `--failure-rate` injects transient measurement
+//! faults retried up to `--max-attempts` times; exhausted retries exit with
+//! a typed error instead of panicking.
 
 use ceal_core::{
-    sample_pool, ActiveLearning, Autotuner, BanditTuner, BayesOpt, Ceal, CealParams,
-    ComponentHistory, Geist, Oracle as _, PoolOracle, RandomSampling, SimOracle,
+    prepare_campaign, sample_pool, ActiveLearning, Autotuner, BanditTuner, BayesOpt, CampaignId,
+    Ceal, CealParams, ComponentHistory, FaultInjector, Geist, Journal, JournalingOracle, Oracle,
+    PoolOracle, RandomSampling, RetryingCollector, SimOracle,
 };
 use ceal_sim::{Objective, Simulator};
 use rand::SeedableRng;
@@ -31,13 +40,18 @@ struct Args {
     history: Option<String>,
     save_history: Option<String>,
     remote: Option<String>,
+    journal: Option<String>,
+    resume: bool,
+    failure_rate: f64,
+    max_attempts: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tune --workflow LV|HS|GP [--objective exec|comp] [--budget N] \
          [--algo ceal|al|rs|geist|alph|bo|rl] [--pool N] [--seed N] \
-         [--history file.json] [--save-history file.json] [--remote HOST:PORT]"
+         [--history file.json] [--save-history file.json] [--remote HOST:PORT] \
+         [--journal file.wal [--resume]] [--failure-rate P [--max-attempts N]]"
     );
     std::process::exit(2);
 }
@@ -53,6 +67,10 @@ fn parse() -> Args {
         history: None,
         save_history: None,
         remote: None,
+        journal: None,
+        resume: false,
+        failure_rate: 0.0,
+        max_attempts: 5,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,10 +91,17 @@ fn parse() -> Args {
             "--history" => args.history = Some(val()),
             "--save-history" => args.save_history = Some(val()),
             "--remote" => args.remote = Some(val()),
+            "--journal" => args.journal = Some(val()),
+            "--resume" => args.resume = true,
+            "--failure-rate" => args.failure_rate = val().parse().unwrap_or_else(|_| usage()),
+            "--max-attempts" => args.max_attempts = val().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
     if args.workflow.is_empty() {
+        usage();
+    }
+    if !(0.0..1.0).contains(&args.failure_rate) || args.max_attempts == 0 {
         usage();
     }
     args
@@ -140,10 +165,80 @@ fn main() {
         _ => usage(),
     };
 
+    // Oracle stack, innermost out: the precomputed pool oracle, then an
+    // optional fault-injection + retry layer, then an optional write-ahead
+    // journal (outermost, so replayed measurements skip the layers below).
+    let fault_seed = args.seed ^ 0xFA17;
+    let injector;
+    let retrying;
+    let measuring: &dyn Oracle = if args.failure_rate > 0.0 {
+        injector = FaultInjector::new(&oracle, args.failure_rate, fault_seed);
+        retrying = RetryingCollector::new(&injector, args.max_attempts);
+        println!(
+            "fault injection: {:.0}% failure rate, {} attempts per measurement",
+            args.failure_rate * 100.0,
+            args.max_attempts
+        );
+        &retrying
+    } else {
+        &oracle
+    };
+    let journaling;
+    let mut replay_source: Option<&JournalingOracle> = None;
+    let tuning: &dyn Oracle = match &args.journal {
+        Some(path) => {
+            let (mut journal, report) = Journal::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open journal {path}: {e}");
+                std::process::exit(1);
+            });
+            if report.truncated_bytes > 0 {
+                println!(
+                    "journal {path}: dropped {} torn tail bytes",
+                    report.truncated_bytes
+                );
+            }
+            let cid = CampaignId {
+                workflow: spec.name.clone(),
+                objective: match args.objective {
+                    Objective::ExecutionTime => "exec".into(),
+                    Objective::ComputerTime => "comp".into(),
+                },
+                algo: args.algo.clone(),
+                budget: args.budget as u64,
+                pool: args.pool as u64,
+                seed: args.seed,
+                failure_rate: args.failure_rate,
+                fault_seed,
+            };
+            let records = prepare_campaign(&mut journal, report.records, &cid, args.resume)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot resume from journal {path}: {e}");
+                    std::process::exit(1);
+                });
+            journaling = JournalingOracle::new(measuring, journal, &records);
+            replay_source = Some(&journaling);
+            &journaling
+        }
+        None => measuring,
+    };
+
     let t0 = std::time::Instant::now();
-    let run = algo.run(&oracle, &pool, args.budget, args.seed);
+    let run = match algo.try_run(tuning, &pool, args.budget, args.seed) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("tuning run failed: {e}");
+            std::process::exit(1);
+        }
+    };
     let tuned = oracle.measure(&run.best_predicted);
 
+    if let Some(j) = replay_source {
+        let stats = j.stats();
+        println!(
+            "journal: replayed {} coupled + {} solo measurements, paid for {} coupled + {} solo",
+            stats.replayed_coupled, stats.replayed_solo, stats.fresh_coupled, stats.fresh_solo
+        );
+    }
     println!(
         "\n{}: measured {} coupled + {} component runs in {:.1}s",
         algo.name(),

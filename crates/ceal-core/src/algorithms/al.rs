@@ -11,7 +11,7 @@ use super::{
     Autotuner, SurrogateKind, TunerRun,
 };
 use crate::features::FeatureMap;
-use crate::oracle::Oracle;
+use crate::oracle::{MeasureError, Oracle};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -38,7 +38,13 @@ impl Autotuner for ActiveLearning {
         "AL"
     }
 
-    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+    fn try_run(
+        &self,
+        oracle: &dyn Oracle,
+        pool: &[Vec<i64>],
+        budget: usize,
+        seed: u64,
+    ) -> Result<TunerRun, MeasureError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let fm = FeatureMap::for_workflow(oracle.spec());
         let iters = self.iterations.clamp(1, budget.max(1));
@@ -50,7 +56,7 @@ impl Autotuner for ActiveLearning {
 
         // Batch 0: random seeding.
         let first = random_unmeasured(&measured_idx, batch.min(budget), &mut rng);
-        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured);
+        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured)?;
 
         let mut model = fit_surrogate_kind(self.surrogate, &fm, &measured, seed);
         while measured.len() < budget {
@@ -60,13 +66,13 @@ impl Autotuner for ActiveLearning {
             if picks.is_empty() {
                 break;
             }
-            measure_indices(oracle, pool, &picks, &mut measured_idx, &mut measured);
+            measure_indices(oracle, pool, &picks, &mut measured_idx, &mut measured)?;
             model =
                 fit_surrogate_kind(self.surrogate, &fm, &measured, seed ^ measured.len() as u64);
         }
 
         let scores = model.predict_batch(&enc_pool);
-        TunerRun::from_scores(pool, scores, measured, Vec::new())
+        Ok(TunerRun::from_scores(pool, scores, measured, Vec::new()))
     }
 }
 

@@ -15,7 +15,7 @@ use super::{measure_indices, random_unmeasured, Autotuner, TunerRun};
 use crate::acm::ComponentModels;
 use crate::features::FeatureMap;
 use crate::history::ComponentHistory;
-use crate::oracle::{Measurement, Oracle, SoloMeasurement};
+use crate::oracle::{MeasureError, Measurement, Oracle, SoloMeasurement};
 use ceal_ml::{Dataset, GbtParams, GradientBoosting, Regressor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -89,7 +89,13 @@ impl Autotuner for Alph {
         "ALpH"
     }
 
-    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+    fn try_run(
+        &self,
+        oracle: &dyn Oracle,
+        pool: &[Vec<i64>],
+        budget: usize,
+        seed: u64,
+    ) -> Result<TunerRun, MeasureError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let spec = oracle.spec();
         let fm = FeatureMap::for_workflow(spec);
@@ -110,7 +116,7 @@ impl Autotuner for Alph {
         for j in 0..spec.components.len() {
             for _ in 0..m_r {
                 let values = spec.sample_component_feasible(oracle.platform(), j, &mut rng);
-                let meas = oracle.measure_component(j, &values);
+                let meas = oracle.try_measure_component(j, &values)?;
                 comp_data.push(j, values, meas.value);
                 component_runs.push(meas);
             }
@@ -141,7 +147,7 @@ impl Autotuner for Alph {
         for &i in &first {
             rows.push(pool_rows[i].clone());
         }
-        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured);
+        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured)?;
 
         let mut model = Self::fit_combiner(&rows, &measured, seed);
         while measured.len() < coupled_budget {
@@ -160,12 +166,17 @@ impl Autotuner for Alph {
             for &i in &cand {
                 rows.push(pool_rows[i].clone());
             }
-            measure_indices(oracle, pool, &cand, &mut measured_idx, &mut measured);
+            measure_indices(oracle, pool, &cand, &mut measured_idx, &mut measured)?;
             model = Self::fit_combiner(&rows, &measured, seed ^ measured.len() as u64);
         }
 
         let scores: Vec<f64> = pool_rows.iter().map(|r| model.predict_row(r)).collect();
-        TunerRun::from_scores(pool, scores, measured, component_runs)
+        Ok(TunerRun::from_scores(
+            pool,
+            scores,
+            measured,
+            component_runs,
+        ))
     }
 }
 

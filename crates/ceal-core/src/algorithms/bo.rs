@@ -16,7 +16,7 @@ use super::{measure_indices, random_unmeasured, select_top_unmeasured, Autotuner
 use crate::acm::{CombineFn, ComponentModels, LowFidelityModel};
 use crate::features::FeatureMap;
 use crate::history::ComponentHistory;
-use crate::oracle::{Oracle, SoloMeasurement};
+use crate::oracle::{MeasureError, Oracle, SoloMeasurement};
 use ceal_ml::{expected_improvement, Dataset, GaussianProcess, GpParams, Regressor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -89,7 +89,13 @@ impl Autotuner for BayesOpt {
         }
     }
 
-    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+    fn try_run(
+        &self,
+        oracle: &dyn Oracle,
+        pool: &[Vec<i64>],
+        budget: usize,
+        seed: u64,
+    ) -> Result<TunerRun, MeasureError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let spec = oracle.spec();
         let fm = FeatureMap::for_workflow(spec);
@@ -112,7 +118,7 @@ impl Autotuner for BayesOpt {
             for j in 0..spec.components.len() {
                 for _ in 0..m_r {
                     let values = spec.sample_component_feasible(oracle.platform(), j, &mut rng);
-                    let meas = oracle.measure_component(j, &values);
+                    let meas = oracle.try_measure_component(j, &values)?;
                     comp_data.push(j, values, meas.value);
                     component_runs.push(meas);
                 }
@@ -151,11 +157,11 @@ impl Autotuner for BayesOpt {
                 }
                 let mut batch = randoms;
                 batch.extend(tops);
-                measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured);
+                measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured)?;
             }
             None => {
                 let batch = random_unmeasured(&measured_idx, init.min(coupled_budget), &mut rng);
-                measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured);
+                measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured)?;
             }
         }
 
@@ -183,13 +189,18 @@ impl Autotuner for BayesOpt {
             if batch.is_empty() {
                 break;
             }
-            measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured);
+            measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured)?;
         }
 
         // Final surrogate: GP posterior mean over the pool.
         let gp = self.fit_gp(&fm, &measured);
         let scores: Vec<f64> = encoded.iter().map(|row| gp.predict_row(row)).collect();
-        TunerRun::from_scores(pool, scores, measured, component_runs)
+        Ok(TunerRun::from_scores(
+            pool,
+            scores,
+            measured,
+            component_runs,
+        ))
     }
 }
 

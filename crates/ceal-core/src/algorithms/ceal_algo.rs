@@ -23,7 +23,7 @@ use crate::acm::{CombineFn, ComponentModels, LowFidelityModel};
 use crate::features::FeatureMap;
 use crate::history::ComponentHistory;
 use crate::metrics::{recall_score, top_n};
-use crate::oracle::{Oracle, SoloMeasurement};
+use crate::oracle::{MeasureError, Oracle, SoloMeasurement};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -161,7 +161,13 @@ impl Autotuner for Ceal {
         "CEAL"
     }
 
-    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+    fn try_run(
+        &self,
+        oracle: &dyn Oracle,
+        pool: &[Vec<i64>],
+        budget: usize,
+        seed: u64,
+    ) -> Result<TunerRun, MeasureError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let spec = oracle.spec();
         let fm = FeatureMap::for_workflow(spec);
@@ -183,7 +189,7 @@ impl Autotuner for Ceal {
         for j in 0..spec.components.len() {
             for _ in 0..m_r {
                 let values = spec.sample_component_feasible(oracle.platform(), j, &mut rng);
-                let meas = oracle.measure_component(j, &values);
+                let meas = oracle.try_measure_component(j, &values)?;
                 comp_data.push(j, values, meas.value);
                 component_runs.push(meas);
             }
@@ -246,7 +252,7 @@ impl Autotuner for Ceal {
             // Line 14: measure C_meas.
             batch.truncate(runs_left);
             let new_start = measured.len();
-            measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured);
+            measure_indices(oracle, pool, &batch, &mut measured_idx, &mut measured)?;
             runs_left -= measured.len() - new_start;
             batch.clear();
             for mm in &measured[new_start..] {
@@ -340,7 +346,12 @@ impl Autotuner for Ceal {
         let mh =
             mh.unwrap_or_else(|| fit_surrogate_kind(self.params.surrogate, &fm, &measured, seed));
         let scores = mh.predict_batch(&enc_pool);
-        TunerRun::from_scores(pool, scores, measured, component_runs)
+        Ok(TunerRun::from_scores(
+            pool,
+            scores,
+            measured,
+            component_runs,
+        ))
     }
 }
 

@@ -20,7 +20,7 @@ use super::{encode_pool, measure_indices, random_unmeasured, Autotuner, TunerRun
 use crate::acm::{CombineFn, ComponentModels, LowFidelityModel};
 use crate::features::FeatureMap;
 use crate::history::ComponentHistory;
-use crate::oracle::{Measurement, Oracle, SoloMeasurement};
+use crate::oracle::{MeasureError, Measurement, Oracle, SoloMeasurement};
 use ceal_ml::{Dataset, GbtParams, GradientBoosting, Regressor};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -163,7 +163,13 @@ impl Autotuner for EnsembleTuner {
         self.kind.label()
     }
 
-    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+    fn try_run(
+        &self,
+        oracle: &dyn Oracle,
+        pool: &[Vec<i64>],
+        budget: usize,
+        seed: u64,
+    ) -> Result<TunerRun, MeasureError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let spec = oracle.spec();
         let fm = FeatureMap::for_workflow(spec);
@@ -183,7 +189,7 @@ impl Autotuner for EnsembleTuner {
         for j in 0..spec.components.len() {
             for _ in 0..m_r {
                 let values = spec.sample_component_feasible(oracle.platform(), j, &mut rng);
-                let meas = oracle.measure_component(j, &values);
+                let meas = oracle.try_measure_component(j, &values)?;
                 comp_data.push(j, values, meas.value);
                 component_runs.push(meas);
             }
@@ -208,7 +214,7 @@ impl Autotuner for EnsembleTuner {
         let mut am_meas: Vec<f64> = Vec::with_capacity(coupled_budget);
 
         let first = random_unmeasured(&measured_idx, batch.min(coupled_budget), &mut rng);
-        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured);
+        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured)?;
 
         loop {
             for m in &measured[enc_meas.n_rows()..] {
@@ -252,7 +258,12 @@ impl Autotuner for EnsembleTuner {
                     .enumerate()
                     .map(|(i, c)| model.predict_idx(i, c))
                     .collect();
-                return TunerRun::from_scores(pool, scores, measured, component_runs);
+                return Ok(TunerRun::from_scores(
+                    pool,
+                    scores,
+                    measured,
+                    component_runs,
+                ));
             }
 
             let take = batch.min(coupled_budget - measured.len());
@@ -264,7 +275,7 @@ impl Autotuner for EnsembleTuner {
                 .collect();
             cand.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
             cand.truncate(take);
-            measure_indices(oracle, pool, &cand, &mut measured_idx, &mut measured);
+            measure_indices(oracle, pool, &cand, &mut measured_idx, &mut measured)?;
         }
     }
 }

@@ -15,7 +15,7 @@
 use super::{fit_surrogate, measure_indices, random_unmeasured, score_pool, Autotuner, TunerRun};
 use crate::features::FeatureMap;
 use crate::metrics::top_n;
-use crate::oracle::Oracle;
+use crate::oracle::{MeasureError, Oracle};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -101,7 +101,13 @@ impl Autotuner for Geist {
         "GEIST"
     }
 
-    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+    fn try_run(
+        &self,
+        oracle: &dyn Oracle,
+        pool: &[Vec<i64>],
+        budget: usize,
+        seed: u64,
+    ) -> Result<TunerRun, MeasureError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let fm = FeatureMap::for_workflow(oracle.spec());
         let graph = knn_graph(&fm, pool, self.k_neighbors);
@@ -114,7 +120,7 @@ impl Autotuner for Geist {
         // Initial random batch.
         let first = random_unmeasured(&measured_idx, batch.min(budget), &mut rng);
         pool_pos.extend(&first);
-        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured);
+        measure_indices(oracle, pool, &first, &mut measured_idx, &mut measured)?;
 
         while measured.len() < budget {
             // Label measured nodes: top `optimal_fraction` of observed
@@ -149,14 +155,14 @@ impl Autotuner for Geist {
                 break;
             }
             pool_pos.extend(&picks);
-            measure_indices(oracle, pool, &picks, &mut measured_idx, &mut measured);
+            measure_indices(oracle, pool, &picks, &mut measured_idx, &mut measured)?;
         }
 
         // Final surrogate for searching/reporting: the standard boosted
         // trees trained on GEIST's sample selection.
         let model = fit_surrogate(&fm, &measured, seed);
         let scores = score_pool(&fm, model.as_ref(), pool);
-        TunerRun::from_scores(pool, scores, measured, Vec::new())
+        Ok(TunerRun::from_scores(pool, scores, measured, Vec::new()))
     }
 }
 

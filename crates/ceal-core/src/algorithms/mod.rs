@@ -26,7 +26,7 @@ pub use rs::RandomSampling;
 
 use crate::features::FeatureMap;
 use crate::metrics::top_n;
-use crate::oracle::{Measurement, Oracle, SoloMeasurement};
+use crate::oracle::{MeasureError, Measurement, Oracle, SoloMeasurement};
 use ceal_ml::{
     Dataset, GbtParams, GradientBoosting, KnnRegressor, RandomForest, RandomForestParams, Regressor,
 };
@@ -119,7 +119,29 @@ pub trait Autotuner: Sync {
     /// Runs the tuner with `budget` workflow-run equivalents against
     /// `oracle`, selecting measurements from `pool`. `seed` controls every
     /// random choice; equal seeds reproduce the run exactly.
-    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun;
+    ///
+    /// A measurement failure (infeasible configuration, exhausted retries,
+    /// journal I/O error) aborts the run and surfaces as the typed
+    /// [`MeasureError`] — the campaign's paid-for measurements survive in
+    /// whatever journal wraps the oracle.
+    fn try_run(
+        &self,
+        oracle: &dyn Oracle,
+        pool: &[Vec<i64>],
+        budget: usize,
+        seed: u64,
+    ) -> Result<TunerRun, MeasureError>;
+
+    /// Convenience wrapper over [`Autotuner::try_run`] for callers that
+    /// treat a measurement failure as a programming error (benchmarks,
+    /// fixtures).
+    ///
+    /// # Panics
+    /// Panics if the run fails.
+    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+        self.try_run(oracle, pool, budget, seed)
+            .unwrap_or_else(|e| panic!("{} tuning run failed: {e}", self.name()))
+    }
 }
 
 /// Fits the standard workflow surrogate (boosted trees by default, paper
@@ -211,19 +233,23 @@ pub(crate) fn select_top_unmeasured(scores: &[f64], measured_idx: &[bool], k: us
     idx
 }
 
-/// Measures pool configurations by index, marking them measured.
+/// Measures pool configurations by index, marking them measured. A
+/// failure leaves the earlier measurements in `out` (they are paid for and
+/// journaled) and propagates the error.
 pub(crate) fn measure_indices(
     oracle: &dyn Oracle,
     pool: &[Vec<i64>],
     indices: &[usize],
     measured_idx: &mut [bool],
     out: &mut Vec<Measurement>,
-) {
+) -> Result<(), MeasureError> {
     for &i in indices {
         debug_assert!(!measured_idx[i], "pool index {i} measured twice");
+        let m = oracle.try_measure(&pool[i])?;
         measured_idx[i] = true;
-        out.push(oracle.measure(&pool[i]));
+        out.push(m);
     }
+    Ok(())
 }
 
 /// Draws `k` distinct unmeasured pool indices uniformly at random.

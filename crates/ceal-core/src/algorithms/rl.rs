@@ -16,7 +16,7 @@ use super::{fit_surrogate, measure_indices, random_unmeasured, score_pool, Autot
 use crate::acm::{CombineFn, ComponentModels, LowFidelityModel};
 use crate::features::FeatureMap;
 use crate::history::ComponentHistory;
-use crate::oracle::{Oracle, SoloMeasurement};
+use crate::oracle::{MeasureError, Oracle, SoloMeasurement};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -127,7 +127,13 @@ impl Autotuner for BanditTuner {
         }
     }
 
-    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+    fn try_run(
+        &self,
+        oracle: &dyn Oracle,
+        pool: &[Vec<i64>],
+        budget: usize,
+        seed: u64,
+    ) -> Result<TunerRun, MeasureError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let spec = oracle.spec();
         let fm = FeatureMap::for_workflow(spec);
@@ -152,7 +158,7 @@ impl Autotuner for BanditTuner {
             for j in 0..spec.components.len() {
                 for _ in 0..m_r {
                     let values = spec.sample_component_feasible(oracle.platform(), j, &mut rng);
-                    let meas = oracle.measure_component(j, &values);
+                    let meas = oracle.try_measure_component(j, &values)?;
                     comp_data.push(j, values, meas.value);
                     component_runs.push(meas);
                 }
@@ -245,7 +251,7 @@ impl Autotuner for BanditTuner {
                     .min(members.len() - 1)]
             };
 
-            measure_indices(oracle, pool, &[pick], &mut measured_idx, &mut measured);
+            measure_indices(oracle, pool, &[pick], &mut measured_idx, &mut measured)?;
             let value = measured.last().expect("just measured").value;
             observed_lo = observed_lo.min(value);
             observed_hi = observed_hi.max(value);
@@ -256,7 +262,12 @@ impl Autotuner for BanditTuner {
 
         let model = fit_surrogate(&fm, &measured, seed);
         let scores = score_pool(&fm, model.as_ref(), pool);
-        TunerRun::from_scores(pool, scores, measured, component_runs)
+        Ok(TunerRun::from_scores(
+            pool,
+            scores,
+            measured,
+            component_runs,
+        ))
     }
 }
 

@@ -7,7 +7,7 @@
 
 use super::{fit_surrogate, measure_indices, random_unmeasured, score_pool, Autotuner, TunerRun};
 use crate::features::FeatureMap;
-use crate::oracle::Oracle;
+use crate::oracle::{MeasureError, Oracle};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -20,16 +20,22 @@ impl Autotuner for RandomSampling {
         "RS"
     }
 
-    fn run(&self, oracle: &dyn Oracle, pool: &[Vec<i64>], budget: usize, seed: u64) -> TunerRun {
+    fn try_run(
+        &self,
+        oracle: &dyn Oracle,
+        pool: &[Vec<i64>],
+        budget: usize,
+        seed: u64,
+    ) -> Result<TunerRun, MeasureError> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let fm = FeatureMap::for_workflow(oracle.spec());
         let mut measured_idx = vec![false; pool.len()];
         let mut measured = Vec::with_capacity(budget);
         let picks = random_unmeasured(&measured_idx, budget, &mut rng);
-        measure_indices(oracle, pool, &picks, &mut measured_idx, &mut measured);
+        measure_indices(oracle, pool, &picks, &mut measured_idx, &mut measured)?;
         let model = fit_surrogate(&fm, &measured, seed);
         let scores = score_pool(&fm, model.as_ref(), pool);
-        TunerRun::from_scores(pool, scores, measured, Vec::new())
+        Ok(TunerRun::from_scores(pool, scores, measured, Vec::new()))
     }
 }
 

@@ -12,7 +12,8 @@
 //!   collection cost exactly as a real campaign would pay for crashed
 //!   runs.
 
-use crate::oracle::{Measurement, Oracle, SoloMeasurement};
+use crate::oracle::{MeasureError, Measurement, Oracle, SoloMeasurement};
+use crate::retry::RetryPolicy;
 use ceal_sim::{Objective, Platform, WorkflowSpec};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -86,18 +87,19 @@ impl<'a> FaultInjector<'a> {
     }
 
     /// Attempts one measurement; fails deterministically per
-    /// `(config, attempt)`.
-    pub fn try_measure(
-        &self,
-        config: &[i64],
-        attempt: u64,
-    ) -> Result<Measurement, MeasurementFailed> {
+    /// `(config, attempt)`. An injected crash surfaces as
+    /// [`MeasureError::Failed`] (the transient, retryable kind); an
+    /// underlying simulator rejection passes through as
+    /// [`MeasureError::Sim`] (deterministic — retrying cannot help).
+    pub fn try_measure(&self, config: &[i64], attempt: u64) -> Result<Measurement, MeasureError> {
         self.attempts.fetch_add(1, Ordering::Relaxed);
         if self.roll(config, attempt) {
             self.failures.fetch_add(1, Ordering::Relaxed);
-            Err(MeasurementFailed { attempt })
+            Err(MeasureError::Failed(
+                MeasurementFailed { attempt }.to_string(),
+            ))
         } else {
-            Ok(self.inner.measure(config))
+            self.inner.try_measure(config)
         }
     }
 }
@@ -109,24 +111,44 @@ impl<'a> FaultInjector<'a> {
 /// testbed; the crashed attempts' cost shows up in
 /// [`RetryingCollector::wasted_cost`] (a crashed run still consumed its
 /// allocation until the crash — modelled as one full run cost, the
-/// worst case).
+/// worst case). When every attempt the [`RetryPolicy`] allows has failed,
+/// [`Oracle::try_measure`] returns
+/// [`MeasureError::RetriesExhausted`] — never a panic, so a tuning
+/// service or resumable campaign stays alive across a truly dead
+/// configuration.
 pub struct RetryingCollector<'a> {
     injector: &'a FaultInjector<'a>,
-    /// Maximum attempts per configuration (≥ 1).
-    pub max_attempts: u64,
+    /// When and how often to retry. Built by [`RetryingCollector::new`] as
+    /// a no-delay policy (simulated measurements have no transport to wait
+    /// out).
+    pub policy: RetryPolicy,
     wasted_exec: AtomicU64,
     wasted_comp: AtomicU64,
 }
 
 impl<'a> RetryingCollector<'a> {
-    /// Creates a collector retrying up to `max_attempts` times.
+    /// Creates a collector retrying up to `max_attempts` times with no
+    /// backoff delay.
     pub fn new(injector: &'a FaultInjector<'a>, max_attempts: u64) -> Self {
+        Self::with_policy(
+            injector,
+            RetryPolicy::no_delay(max_attempts.min(u32::MAX as u64) as u32),
+        )
+    }
+
+    /// Creates a collector with an explicit retry policy.
+    pub fn with_policy(injector: &'a FaultInjector<'a>, policy: RetryPolicy) -> Self {
         Self {
             injector,
-            max_attempts: max_attempts.max(1),
+            policy,
             wasted_exec: AtomicU64::new(0),
             wasted_comp: AtomicU64::new(0),
         }
+    }
+
+    /// Maximum attempts per configuration (≥ 1).
+    pub fn max_attempts(&self) -> u64 {
+        self.policy.max_attempts.max(1) as u64
     }
 
     /// Cost of crashed attempts in the given objective's units
@@ -137,6 +159,16 @@ impl<'a> RetryingCollector<'a> {
             Objective::ComputerTime => self.wasted_comp.load(Ordering::Relaxed),
         };
         milli as f64 / 1000.0
+    }
+
+    /// Bills one crashed attempt as one full run of `config`.
+    fn bill_waste(&self, config: &[i64]) -> Result<(), MeasureError> {
+        let truth = self.injector.inner.try_measure(config)?;
+        self.wasted_exec
+            .fetch_add((truth.exec_time * 1000.0) as u64, Ordering::Relaxed);
+        self.wasted_comp
+            .fetch_add((truth.computer_time * 1000.0) as u64, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -153,30 +185,44 @@ impl Oracle for RetryingCollector<'_> {
         self.injector.inner.objective()
     }
 
-    fn measure(&self, config: &[i64]) -> Measurement {
-        for attempt in 1..=self.max_attempts {
-            match self.injector.try_measure(config, attempt) {
-                Ok(m) => return m,
-                Err(_) if attempt < self.max_attempts => {
-                    // Bill the crashed attempt as one full run.
-                    let truth = self.injector.inner.measure(config);
-                    self.wasted_exec
-                        .fetch_add((truth.exec_time * 1000.0) as u64, Ordering::Relaxed);
-                    self.wasted_comp
-                        .fetch_add((truth.computer_time * 1000.0) as u64, Ordering::Relaxed);
+    fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError> {
+        let max = self.max_attempts();
+        let mut last: Option<String> = None;
+        for attempt in 1..=max {
+            if attempt > 1 {
+                let wait = self
+                    .policy
+                    .delay_before(attempt.min(u32::MAX as u64) as u32);
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
                 }
-                Err(e) => panic!(
-                    "configuration {config:?} failed {} consecutive attempts: {e}",
-                    self.max_attempts
-                ),
+            }
+            match self.injector.try_measure(config, attempt) {
+                Ok(m) => return Ok(m),
+                // Transient backend failures (injected crashes) are the
+                // retryable kind; bill the wasted run and go again.
+                Err(MeasureError::Failed(msg)) => {
+                    self.bill_waste(config)?;
+                    last = Some(msg);
+                }
+                // Deterministic failures (infeasible configuration) cannot
+                // be retried away.
+                Err(other) => return Err(other),
             }
         }
-        unreachable!("loop returns or panics")
+        Err(MeasureError::RetriesExhausted {
+            attempts: max,
+            last: last.expect("max >= 1 implies a recorded failure"),
+        })
     }
 
-    fn measure_component(&self, component: usize, values: &[i64]) -> SoloMeasurement {
+    fn try_measure_component(
+        &self,
+        component: usize,
+        values: &[i64],
+    ) -> Result<SoloMeasurement, MeasureError> {
         // Component runs are short; model them as reliable.
-        self.injector.inner.measure_component(component, values)
+        self.injector.inner.try_measure_component(component, values)
     }
 }
 
@@ -184,6 +230,7 @@ impl Oracle for RetryingCollector<'_> {
 mod tests {
     use super::*;
     use crate::algorithms::{Autotuner, RandomSampling};
+    use crate::oracle::MeasureError;
     use crate::oracle::SimOracle;
     use crate::pool::sample_pool;
     use ceal_sim::Simulator;
@@ -266,14 +313,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "consecutive attempts")]
-    fn exhausted_retries_panic_with_context() {
+    fn exhausted_retries_surface_as_typed_error() {
         let (pool, oracle) = base();
         // 99.9 % failure rate with one attempt: practically guaranteed.
         let inj = FaultInjector::new(&oracle, 0.999, 2);
         let col = RetryingCollector::new(&inj, 1);
-        for cfg in &pool {
-            let _ = col.measure(cfg); // some config will fail its only attempt
+        let err = pool
+            .iter()
+            .find_map(|cfg| col.try_measure(cfg).err())
+            .expect("some config must fail its only attempt");
+        match &err {
+            MeasureError::RetriesExhausted { attempts, last } => {
+                assert_eq!(*attempts, 1);
+                assert!(last.contains("crashed"), "last error lacks context: {last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
         }
+        // The rendered error keeps the old panic message's context.
+        let msg = err.to_string();
+        assert!(msg.contains("consecutive attempts"), "{msg}");
+        assert!(msg.contains("crashed"), "{msg}");
+    }
+
+    #[test]
+    fn infeasible_configs_are_not_retried() {
+        let (_, oracle) = base();
+        let inj = FaultInjector::new(&oracle, 0.0, 0);
+        let col = RetryingCollector::new(&inj, 5);
+        let before = inj.attempts();
+        let err = col
+            .try_measure(&[1085, 1, 1, 1085, 1, 1])
+            .expect_err("infeasible must fail");
+        assert!(matches!(err, MeasureError::Sim(_)), "got {err}");
+        assert_eq!(
+            inj.attempts() - before,
+            1,
+            "no retry on deterministic failure"
+        );
     }
 }

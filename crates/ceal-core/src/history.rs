@@ -6,7 +6,7 @@
 //! without charging them against the tuning budget; the paper measured 500
 //! random solo configurations per configurable component for this purpose.
 
-use crate::oracle::Oracle;
+use crate::oracle::{MeasureError, Oracle, SoloMeasurement};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -58,20 +58,36 @@ impl ComponentHistory {
     /// Components whose parameter grid admits fewer distinct configurations
     /// get correspondingly fewer samples (fixed plotters get one).
     pub fn collect<R: Rng>(oracle: &dyn Oracle, per_component: usize, rng: &mut R) -> Self {
+        match Self::try_collect(oracle, per_component, rng) {
+            Ok((hist, _)) => hist,
+            Err(e) => panic!("historical component collection failed: {e}"),
+        }
+    }
+
+    /// Fallible [`ComponentHistory::collect`]: returns the history together
+    /// with the individual solo measurements (so callers that journal or
+    /// bill them keep the full records), or the first measurement error.
+    pub fn try_collect<R: Rng>(
+        oracle: &dyn Oracle,
+        per_component: usize,
+        rng: &mut R,
+    ) -> Result<(Self, Vec<SoloMeasurement>), MeasureError> {
         let spec = oracle.spec();
         let mut samples = Vec::with_capacity(spec.components.len());
+        let mut solos = Vec::new();
         for (j, comp) in spec.components.iter().enumerate() {
             let space: f64 = comp.params().iter().map(|p| p.n_options() as f64).product();
             let n = (per_component as f64).min(space) as usize;
             let mut rows = Vec::with_capacity(n);
             for _ in 0..n {
                 let values = spec.sample_component_feasible(oracle.platform(), j, rng);
-                let m = oracle.measure_component(j, &values);
+                let m = oracle.try_measure_component(j, &values)?;
                 rows.push((values, m.value));
+                solos.push(m);
             }
             samples.push(rows);
         }
-        Self { samples }
+        Ok((Self { samples }, solos))
     }
 
     /// Number of components covered.

@@ -1,0 +1,652 @@
+//! Write-ahead measurement journal: crash-safe tuning campaigns.
+//!
+//! A tuning campaign's only irreplaceable asset is its *measurements* —
+//! every coupled run costs real budget, every solo run real machine time.
+//! The paper had to enhance Swift/T with `MPI_Comm_launch` so a crashed
+//! workflow run would not kill a multi-hour campaign (§7.1); this module
+//! extends that durability to the tuner process itself. Every measurement
+//! is journaled to disk *before* it is reported to the algorithm
+//! (write-ahead), so a campaign killed at any instant can resume and
+//! replay its paid-for measurements instead of re-buying them.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! +----------+  +-----------+-----------+----------------+  +----- ...
+//! | CEALWAL1 |  | len (u32) | crc (u32) | payload (JSON) |  | len ...
+//! +----------+  +-----------+-----------+----------------+  +----- ...
+//!   8 B magic      big-endian   CRC32 of     one JournalRecord
+//!                               payload
+//! ```
+//!
+//! [`Journal::open`] scans the file, verifies every record's CRC, and
+//! truncates the first torn/corrupt record and everything after it — a
+//! crash mid-write loses at most the record being written, never a
+//! committed one. [`Journal::append`] writes header + payload and then
+//! `fsync`s (`sync_data`), so a record is committed exactly when the
+//! append returns.
+//!
+//! ## Replay
+//!
+//! Tuners in this workspace are seed-deterministic: given the same oracle
+//! answers they re-issue the same measurement sequence. [`JournalingOracle`]
+//! exploits that — it replays journaled measurements by configuration from
+//! an in-memory map (zero oracle spend) and journals fresh ones, so
+//! `tune --journal x.wal --resume` walks the algorithm through its
+//! original decisions for free until it reaches the crash frontier, then
+//! continues measuring.
+//!
+//! ## Crash points (`chaos` feature)
+//!
+//! Under `--features chaos` the append path exposes four crash points to
+//! [`ceal_testutil::chaos`]: `journal.before_write`, `journal.mid_write`
+//! (header on disk, payload not), `journal.after_write` (record on disk,
+//! not fsynced), and `journal.after_sync` (committed, caller state not yet
+//! updated). The chaos tests arm each in turn and assert recovery.
+
+use crate::oracle::{MeasureError, Measurement, Oracle, SoloMeasurement};
+use ceal_sim::{Objective, Platform, WorkflowSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Identifies the journal file format (and its version).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"CEALWAL1";
+
+/// Upper bound on one record's encoded payload; anything larger during a
+/// scan is treated as corruption (a torn length prefix).
+const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// Hits a named chaos crash point (no-op unless built with `chaos`).
+#[cfg(feature = "chaos")]
+#[inline]
+fn crash_point(name: &str) {
+    ceal_testutil::chaos::hit(name);
+}
+
+#[cfg(not(feature = "chaos"))]
+#[inline]
+fn crash_point(_name: &str) {}
+
+/// CRC32 (IEEE, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the per-record checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Why a journal operation failed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file is not a journal (bad magic) or a record cannot be
+    /// encoded/decoded.
+    Corrupt(String),
+    /// The journal belongs to a different campaign, or holds measurements
+    /// the caller did not ask to resume.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "journal I/O error: {e}"),
+            Self::Corrupt(msg) => write!(f, "journal corrupt: {msg}"),
+            Self::Mismatch(msg) => write!(f, "journal mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Everything that fully determines a campaign's measurement sequence.
+/// Stored as the journal's first record; a resume against a journal whose
+/// campaign differs is rejected instead of silently replaying foreign
+/// measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CampaignId {
+    /// Workflow name (`LV`, `HS`, `GP`).
+    pub workflow: String,
+    /// Objective name (`exec`, `comp`).
+    pub objective: String,
+    /// Algorithm name (or `session:<algo>` for serve sessions).
+    pub algo: String,
+    /// Coupled-run budget.
+    pub budget: u64,
+    /// Candidate-pool size.
+    pub pool: u64,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Injected-fault probability (0 when faults are off).
+    pub failure_rate: f64,
+    /// Injected-fault seed.
+    pub fault_seed: u64,
+}
+
+/// One committed journal entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// Campaign header; always the first record.
+    Start(CampaignId),
+    /// A paid-for standalone component measurement.
+    Solo {
+        /// Component index.
+        component: usize,
+        /// Component parameter values.
+        values: Vec<i64>,
+        /// Objective-aligned value.
+        value: f64,
+        /// Solo execution time, seconds.
+        exec_time: f64,
+        /// Solo computer time, core-hours.
+        computer_time: f64,
+    },
+    /// A paid-for coupled workflow measurement.
+    Coupled {
+        /// Full parameter vector.
+        config: Vec<i64>,
+        /// Objective-aligned value.
+        value: f64,
+        /// Execution time, seconds.
+        exec_time: f64,
+        /// Computer time, core-hours.
+        computer_time: f64,
+        /// Measurement-attempt counter at commit time (restores a serve
+        /// session's fault-injection stream position; 0 elsewhere).
+        attempt: u64,
+    },
+    /// An algorithm round / phase boundary. Markers double as commit
+    /// points for batched records: a replayer may choose to apply a batch
+    /// only once the closing marker exists.
+    Marker(String),
+}
+
+/// What [`Journal::open`] found on disk.
+#[derive(Debug)]
+pub struct OpenReport {
+    /// Every committed record, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Torn/corrupt tail bytes dropped during recovery (0 for a clean
+    /// file).
+    pub truncated_bytes: u64,
+}
+
+/// An append-only, checksummed, fsync-on-commit write-ahead journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    /// Whether `append` fsyncs before returning (on by default; tests that
+    /// hammer thousands of appends may turn it off).
+    sync_on_commit: bool,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path`, verifying every
+    /// record and truncating a torn tail. Returns the journal positioned
+    /// for appending plus everything it recovered.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, OpenReport), JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        // A file shorter than the magic is a crash during creation: reset
+        // it to a fresh journal.
+        if bytes.len() < JOURNAL_MAGIC.len() {
+            let torn = bytes.len() as u64;
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(JOURNAL_MAGIC)?;
+            file.sync_data()?;
+            return Ok((
+                Self {
+                    file,
+                    path,
+                    sync_on_commit: true,
+                },
+                OpenReport {
+                    records: Vec::new(),
+                    truncated_bytes: torn,
+                },
+            ));
+        }
+        if &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Err(JournalError::Corrupt(format!(
+                "{} does not start with the CEALWAL1 magic",
+                path.display()
+            )));
+        }
+
+        let mut records = Vec::new();
+        let mut good = JOURNAL_MAGIC.len();
+        loop {
+            let rest = &bytes[good..];
+            if rest.len() < 8 {
+                break; // torn header (or clean end at rest.is_empty())
+            }
+            let len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+            if len as u32 > MAX_RECORD_LEN || rest.len() < 8 + len {
+                break; // absurd length prefix, or torn payload
+            }
+            let crc = u32::from_be_bytes(rest[4..8].try_into().expect("4 bytes"));
+            let payload = &rest[8..8 + len];
+            if crc32(payload) != crc {
+                break; // bit rot or a torn overwrite
+            }
+            let Ok(record) = serde_json::from_slice::<JournalRecord>(payload) else {
+                break; // checksummed but unintelligible: treat as torn
+            };
+            records.push(record);
+            good += 8 + len;
+        }
+
+        let truncated = (bytes.len() - good) as u64;
+        if truncated > 0 {
+            file.set_len(good as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good as u64))?;
+        Ok((
+            Self {
+                file,
+                path,
+                sync_on_commit: true,
+            },
+            OpenReport {
+                records,
+                truncated_bytes: truncated,
+            },
+        ))
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Enables or disables the fsync on every append. Leave on outside
+    /// tests: without it a record is not crash-durable when `append`
+    /// returns.
+    pub fn set_sync_on_commit(&mut self, on: bool) {
+        self.sync_on_commit = on;
+    }
+
+    /// Appends and commits one record; when this returns `Ok`, the record
+    /// survives a crash.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), JournalError> {
+        let payload = serde_json::to_vec(record)
+            .map_err(|e| JournalError::Corrupt(format!("cannot encode record: {e}")))?;
+        if payload.len() > MAX_RECORD_LEN as usize {
+            return Err(JournalError::Corrupt(format!(
+                "record of {} bytes exceeds the {} byte limit",
+                payload.len(),
+                MAX_RECORD_LEN
+            )));
+        }
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+        header[4..].copy_from_slice(&crc32(&payload).to_be_bytes());
+
+        crash_point("journal.before_write");
+        self.file.write_all(&header)?;
+        crash_point("journal.mid_write");
+        self.file.write_all(&payload)?;
+        crash_point("journal.after_write");
+        if self.sync_on_commit {
+            self.file.sync_data()?;
+        }
+        crash_point("journal.after_sync");
+        Ok(())
+    }
+}
+
+/// Validates a freshly opened journal against the campaign about to run.
+///
+/// * Empty journal → writes the `Start` header and returns no records.
+/// * Matching header, no further records → fresh start, fine either way.
+/// * Matching header plus measurements → requires `resume` (the caller's
+///   `--resume` flag), else [`JournalError::Mismatch`] — guarding against
+///   accidentally replaying into a half-finished campaign.
+/// * Foreign or missing header → [`JournalError::Mismatch`] /
+///   [`JournalError::Corrupt`].
+pub fn prepare_campaign(
+    journal: &mut Journal,
+    records: Vec<JournalRecord>,
+    id: &CampaignId,
+    resume: bool,
+) -> Result<Vec<JournalRecord>, JournalError> {
+    match records.first() {
+        None => {
+            journal.append(&JournalRecord::Start(id.clone()))?;
+            Ok(records)
+        }
+        Some(JournalRecord::Start(found)) => {
+            if found != id {
+                return Err(JournalError::Mismatch(format!(
+                    "journal {} belongs to campaign {found:?}, not {id:?}",
+                    journal.path().display()
+                )));
+            }
+            if !resume && records.len() > 1 {
+                return Err(JournalError::Mismatch(format!(
+                    "journal {} already holds {} record(s); pass --resume to continue it",
+                    journal.path().display(),
+                    records.len() - 1
+                )));
+            }
+            Ok(records)
+        }
+        Some(other) => Err(JournalError::Corrupt(format!(
+            "journal {} does not begin with a Start record (found {other:?})",
+            journal.path().display()
+        ))),
+    }
+}
+
+/// Replay/spend counters for one journaled campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Coupled measurements answered from the journal (zero oracle spend).
+    pub replayed_coupled: u64,
+    /// Coupled measurements paid for and journaled this run.
+    pub fresh_coupled: u64,
+    /// Solo measurements answered from the journal.
+    pub replayed_solo: u64,
+    /// Solo measurements paid for and journaled this run.
+    pub fresh_solo: u64,
+}
+
+struct JournalState {
+    journal: Journal,
+    coupled: HashMap<Vec<i64>, Measurement>,
+    solo: HashMap<(usize, Vec<i64>), SoloMeasurement>,
+    stats: ReplayStats,
+}
+
+/// An [`Oracle`] middleware that makes the campaign crash-safe: journaled
+/// measurements replay from memory for free; fresh ones are journaled
+/// (write-ahead, fsync'd) *before* the algorithm sees them.
+///
+/// Relies on the workspace-wide determinism invariant: measurement values
+/// are a pure function of the configuration, so replay-by-configuration is
+/// exact regardless of the order the algorithm re-requests them in.
+pub struct JournalingOracle<'a> {
+    inner: &'a dyn Oracle,
+    state: Mutex<JournalState>,
+}
+
+impl<'a> JournalingOracle<'a> {
+    /// Wraps `inner`, replaying `records` (from [`Journal::open`] /
+    /// [`prepare_campaign`]) and journaling everything new to `journal`.
+    pub fn new(inner: &'a dyn Oracle, journal: Journal, records: &[JournalRecord]) -> Self {
+        let mut coupled = HashMap::new();
+        let mut solo = HashMap::new();
+        for rec in records {
+            match rec {
+                JournalRecord::Coupled {
+                    config,
+                    value,
+                    exec_time,
+                    computer_time,
+                    ..
+                } => {
+                    coupled.insert(
+                        config.clone(),
+                        Measurement {
+                            config: config.clone(),
+                            value: *value,
+                            exec_time: *exec_time,
+                            computer_time: *computer_time,
+                        },
+                    );
+                }
+                JournalRecord::Solo {
+                    component,
+                    values,
+                    value,
+                    exec_time,
+                    computer_time,
+                } => {
+                    solo.insert(
+                        (*component, values.clone()),
+                        SoloMeasurement {
+                            component: *component,
+                            values: values.clone(),
+                            value: *value,
+                            exec_time: *exec_time,
+                            computer_time: *computer_time,
+                        },
+                    );
+                }
+                JournalRecord::Start(_) | JournalRecord::Marker(_) => {}
+            }
+        }
+        Self {
+            inner,
+            state: Mutex::new(JournalState {
+                journal,
+                coupled,
+                solo,
+                stats: ReplayStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, JournalState> {
+        // A chaos crash point can unwind while the lock is held; the
+        // journal/maps are always mutated after the fallible step, so the
+        // state is consistent — recover instead of propagating the poison.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Replay/spend counters so far.
+    pub fn stats(&self) -> ReplayStats {
+        self.lock().stats
+    }
+
+    /// Journals an algorithm round marker.
+    pub fn mark(&self, label: &str) -> Result<(), MeasureError> {
+        self.lock()
+            .journal
+            .append(&JournalRecord::Marker(label.to_string()))
+            .map_err(|e| MeasureError::Failed(format!("journal append failed: {e}")))
+    }
+}
+
+impl Oracle for JournalingOracle<'_> {
+    fn spec(&self) -> &WorkflowSpec {
+        self.inner.spec()
+    }
+
+    fn platform(&self) -> &Platform {
+        self.inner.platform()
+    }
+
+    fn objective(&self) -> Objective {
+        self.inner.objective()
+    }
+
+    fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError> {
+        let mut st = self.lock();
+        if let Some(m) = st.coupled.get(config) {
+            let m = m.clone();
+            st.stats.replayed_coupled += 1;
+            return Ok(m);
+        }
+        let m = self.inner.try_measure(config)?;
+        // Write-ahead: the measurement is not reported until it is durable.
+        st.journal
+            .append(&JournalRecord::Coupled {
+                config: m.config.clone(),
+                value: m.value,
+                exec_time: m.exec_time,
+                computer_time: m.computer_time,
+                attempt: 0,
+            })
+            .map_err(|e| MeasureError::Failed(format!("journal append failed: {e}")))?;
+        st.stats.fresh_coupled += 1;
+        st.coupled.insert(m.config.clone(), m.clone());
+        Ok(m)
+    }
+
+    fn try_measure_component(
+        &self,
+        component: usize,
+        values: &[i64],
+    ) -> Result<SoloMeasurement, MeasureError> {
+        let mut st = self.lock();
+        let key = (component, values.to_vec());
+        if let Some(m) = st.solo.get(&key) {
+            let m = m.clone();
+            st.stats.replayed_solo += 1;
+            return Ok(m);
+        }
+        let m = self.inner.try_measure_component(component, values)?;
+        st.journal
+            .append(&JournalRecord::Solo {
+                component: m.component,
+                values: m.values.clone(),
+                value: m.value,
+                exec_time: m.exec_time,
+                computer_time: m.computer_time,
+            })
+            .map_err(|e| MeasureError::Failed(format!("journal append failed: {e}")))?;
+        st.stats.fresh_solo += 1;
+        st.solo.insert(key, m.clone());
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC32 check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn fresh_journal_round_trips_records() {
+        let path = ceal_testutil::unique_temp_path("ceal-journal-rt", "wal");
+        let recs = vec![
+            JournalRecord::Start(CampaignId::default()),
+            JournalRecord::Solo {
+                component: 1,
+                values: vec![4, 2],
+                value: 1.5,
+                exec_time: 1.5,
+                computer_time: 0.2,
+            },
+            JournalRecord::Coupled {
+                config: vec![100, 20, 1],
+                value: 2.5,
+                exec_time: 2.5,
+                computer_time: 0.4,
+                attempt: 3,
+            },
+            JournalRecord::Marker("round-1".into()),
+        ];
+        {
+            let (mut j, report) = Journal::open(&path).expect("open fresh");
+            assert!(report.records.is_empty());
+            assert_eq!(report.truncated_bytes, 0);
+            for r in &recs {
+                j.append(r).expect("append");
+            }
+        }
+        let (_j, report) = Journal::open(&path).expect("reopen");
+        assert_eq!(report.records, recs);
+        assert_eq!(report.truncated_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_journal_file_is_rejected() {
+        let path = ceal_testutil::unique_temp_path("ceal-journal-bad", "wal");
+        std::fs::write(&path, b"definitely not a journal").expect("write");
+        let err = Journal::open(&path).expect_err("must reject");
+        assert!(matches!(err, JournalError::Corrupt(_)), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn prepare_campaign_guards_header_and_resume() {
+        let path = ceal_testutil::unique_temp_path("ceal-journal-prep", "wal");
+        let id = CampaignId {
+            workflow: "LV".into(),
+            algo: "rs".into(),
+            ..CampaignId::default()
+        };
+        // Empty journal: header is written.
+        let (mut j, report) = Journal::open(&path).expect("open");
+        let recs = prepare_campaign(&mut j, report.records, &id, false).expect("fresh");
+        assert!(recs.is_empty());
+        j.append(&JournalRecord::Marker("m".into()))
+            .expect("append");
+        drop(j);
+        // Reopen without --resume: rejected (it holds records).
+        let (mut j, report) = Journal::open(&path).expect("reopen");
+        let err = prepare_campaign(&mut j, report.records, &id, false).expect_err("needs resume");
+        assert!(matches!(err, JournalError::Mismatch(_)), "got {err}");
+        // With --resume: records come back.
+        let (mut j, report) = Journal::open(&path).expect("reopen");
+        let recs = prepare_campaign(&mut j, report.records, &id, true).expect("resume");
+        assert_eq!(recs.len(), 2);
+        // Foreign campaign: rejected even with --resume.
+        let other = CampaignId {
+            seed: 999,
+            ..id.clone()
+        };
+        let (mut j, report) = Journal::open(&path).expect("reopen");
+        let err = prepare_campaign(&mut j, report.records, &other, true).expect_err("foreign");
+        assert!(matches!(err, JournalError::Mismatch(_)), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

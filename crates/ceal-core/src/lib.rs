@@ -21,15 +21,21 @@
 //! * [`history`] — historical component measurements `D_hist` (§7.5).
 //! * [`fault`] — job-level fault tolerance for the collector (§7.1's
 //!   `MPI_Comm_launch` enhancement, as injection + retry wrappers).
+//! * [`journal`] — crash-safe campaigns: a checksummed write-ahead journal
+//!   of every measurement, with torn-tail recovery and free replay.
+//! * [`retry`] — the shared retry/backoff policy (seeded jitter,
+//!   deadline) used by the collector and the serve client.
 
 pub mod acm;
 pub mod algorithms;
 pub mod fault;
 pub mod features;
 pub mod history;
+pub mod journal;
 pub mod metrics;
 pub mod oracle;
 pub mod pool;
+pub mod retry;
 
 pub use acm::{CombineFn, ComponentModels, LowFidelityModel};
 pub use algorithms::{encode_pool, fit_surrogate_samples};
@@ -40,5 +46,10 @@ pub use algorithms::{
 pub use fault::{FaultInjector, RetryingCollector};
 pub use features::FeatureMap;
 pub use history::{ComponentHistory, HistoryError};
+pub use journal::{
+    prepare_campaign, CampaignId, Journal, JournalError, JournalRecord, JournalingOracle,
+    OpenReport, ReplayStats,
+};
 pub use oracle::{MeasureError, Measurement, Oracle, PoolOracle, SimOracle, SoloMeasurement};
 pub use pool::sample_pool;
+pub use retry::{RetryError, RetryPolicy};

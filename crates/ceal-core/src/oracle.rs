@@ -49,6 +49,14 @@ pub enum MeasureError {
     /// The measurement backend failed for a non-simulator reason
     /// (injected fault, lost connection, crashed component, ...).
     Failed(String),
+    /// Every retry a policy allowed has failed (see
+    /// [`RetryingCollector`](crate::RetryingCollector)).
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u64,
+        /// The last attempt's failure, rendered.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for MeasureError {
@@ -56,6 +64,9 @@ impl std::fmt::Display for MeasureError {
         match self {
             Self::Sim(e) => write!(f, "simulation failed: {e}"),
             Self::Failed(msg) => write!(f, "measurement failed: {msg}"),
+            Self::RetriesExhausted { attempts, last } => {
+                write!(f, "failed {attempts} consecutive attempts: {last}")
+            }
         }
     }
 }
@@ -69,6 +80,14 @@ impl From<SimError> for MeasureError {
 }
 
 /// A measurement source for one workflow under one objective.
+///
+/// The fallible `try_*` methods are the primitives every oracle
+/// implements; the panicking `measure`/`measure_component` are provided
+/// conveniences for contexts (examples, fixtures) that own their inputs
+/// and treat a failure as a programming error. Everything on a production
+/// path — tuners via [`Autotuner::try_run`](crate::Autotuner::try_run),
+/// the serve layer, the bench CLI — uses the `try_*` plumbing so faults
+/// and exhausted retries surface as typed [`MeasureError`]s end to end.
 pub trait Oracle: Sync {
     /// The workflow being tuned.
     fn spec(&self) -> &WorkflowSpec;
@@ -76,28 +95,36 @@ pub trait Oracle: Sync {
     fn platform(&self) -> &Platform;
     /// The optimization objective.
     fn objective(&self) -> Objective;
-    /// Measures a coupled workflow run.
-    ///
-    /// # Panics
-    /// Panics if the configuration is infeasible — tuners must only measure
-    /// configurations drawn from the feasible pool or component grids.
-    fn measure(&self, config: &[i64]) -> Measurement;
-    /// Measures a standalone component run.
-    fn measure_component(&self, component: usize, values: &[i64]) -> SoloMeasurement;
-    /// Fallible variant of [`Oracle::measure`] for callers that must stay
-    /// alive across bad configurations (e.g. a tuning service answering
-    /// requests it did not construct itself). The default delegates to the
-    /// panicking path, so oracles that can fail should override it.
-    fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError> {
-        Ok(self.measure(config))
-    }
-    /// Fallible variant of [`Oracle::measure_component`].
+    /// Measures a coupled workflow run, returning a typed error when the
+    /// backend fails (infeasible configuration, injected fault, exhausted
+    /// retries, journal I/O, ...).
+    fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError>;
+    /// Fallible variant of [`Oracle::measure_component`] for standalone
+    /// component runs.
     fn try_measure_component(
         &self,
         component: usize,
         values: &[i64],
-    ) -> Result<SoloMeasurement, MeasureError> {
-        Ok(self.measure_component(component, values))
+    ) -> Result<SoloMeasurement, MeasureError>;
+    /// Measures a coupled workflow run.
+    ///
+    /// # Panics
+    /// Panics if the measurement fails — callers must only measure
+    /// configurations drawn from the feasible pool or component grids, and
+    /// should use [`Oracle::try_measure`] when the backend itself can fail.
+    fn measure(&self, config: &[i64]) -> Measurement {
+        self.try_measure(config)
+            .unwrap_or_else(|e| panic!("measurement of {config:?} failed: {e}"))
+    }
+    /// Measures a standalone component run.
+    ///
+    /// # Panics
+    /// Panics if the measurement fails; see [`Oracle::measure`].
+    fn measure_component(&self, component: usize, values: &[i64]) -> SoloMeasurement {
+        self.try_measure_component(component, values)
+            .unwrap_or_else(|e| {
+                panic!("solo measurement of component {component} {values:?} failed: {e}")
+            })
     }
 }
 
@@ -181,16 +208,6 @@ impl Oracle for SimOracle {
         self.objective
     }
 
-    fn measure(&self, config: &[i64]) -> Measurement {
-        self.try_measure(config)
-            .unwrap_or_else(|e| panic!("measurement of {config:?} failed: {e}"))
-    }
-
-    fn measure_component(&self, component: usize, values: &[i64]) -> SoloMeasurement {
-        SimOracle::try_measure_component(self, component, values)
-            .unwrap_or_else(|e| panic!("solo measurement failed: {e}"))
-    }
-
     fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError> {
         SimOracle::try_measure(self, config).map_err(MeasureError::Sim)
     }
@@ -241,18 +258,6 @@ impl Oracle for PoolOracle {
 
     fn objective(&self) -> Objective {
         self.inner.objective()
-    }
-
-    fn measure(&self, config: &[i64]) -> Measurement {
-        if let Some(m) = self.table.get(config) {
-            m.clone()
-        } else {
-            self.inner.measure(config)
-        }
-    }
-
-    fn measure_component(&self, component: usize, values: &[i64]) -> SoloMeasurement {
-        self.inner.measure_component(component, values)
     }
 
     fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError> {

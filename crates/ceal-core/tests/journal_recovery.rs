@@ -1,0 +1,292 @@
+//! Crash-recovery tests of the write-ahead measurement journal.
+//!
+//! The durability contract under test: whatever byte the process dies at,
+//! reopening the journal recovers exactly the longest valid prefix of
+//! records, the journal stays appendable, and a resumed campaign replays
+//! the recovered measurements for free while paying only for what the
+//! crash lost — finishing with the same result as a crash-free run.
+
+use ceal_core::{
+    prepare_campaign, sample_pool, Autotuner, CampaignId, Ceal, CealParams, Journal, JournalRecord,
+    JournalingOracle, MeasureError, Measurement, Oracle, PoolOracle, RandomSampling, SimOracle,
+    SoloMeasurement,
+};
+use ceal_sim::{Objective, Platform, Simulator, WorkflowSpec};
+use ceal_testutil::unique_temp_path;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (Vec<Vec<i64>>, PoolOracle) {
+    static FIX: OnceLock<(Vec<Vec<i64>>, PoolOracle)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let spec = ceal_apps::hs();
+        let sim = Simulator::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let pool = sample_pool(&spec, &sim.platform, 100, &mut rng);
+        let oracle = PoolOracle::precompute(
+            SimOracle::new(sim, spec, Objective::ExecutionTime, 2021),
+            &pool,
+        );
+        (pool, oracle)
+    })
+}
+
+/// Counts how many measurements actually reach the wrapped oracle — i.e.
+/// how many the campaign *pays* for after journal replay.
+struct CountingOracle<'a> {
+    inner: &'a PoolOracle,
+    coupled: AtomicU64,
+    solo: AtomicU64,
+}
+
+impl<'a> CountingOracle<'a> {
+    fn new(inner: &'a PoolOracle) -> Self {
+        Self {
+            inner,
+            coupled: AtomicU64::new(0),
+            solo: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Oracle for CountingOracle<'_> {
+    fn spec(&self) -> &WorkflowSpec {
+        self.inner.spec()
+    }
+    fn platform(&self) -> &Platform {
+        self.inner.platform()
+    }
+    fn objective(&self) -> Objective {
+        self.inner.objective()
+    }
+    fn try_measure(&self, config: &[i64]) -> Result<Measurement, MeasureError> {
+        self.coupled.fetch_add(1, Ordering::Relaxed);
+        self.inner.try_measure(config)
+    }
+    fn try_measure_component(
+        &self,
+        component: usize,
+        values: &[i64],
+    ) -> Result<SoloMeasurement, MeasureError> {
+        self.solo.fetch_add(1, Ordering::Relaxed);
+        self.inner.try_measure_component(component, values)
+    }
+}
+
+fn campaign_id(algo: &str, budget: u64, seed: u64) -> CampaignId {
+    CampaignId {
+        workflow: "HS".into(),
+        objective: "exec".into(),
+        algo: algo.into(),
+        budget,
+        pool: 100,
+        seed,
+        failure_rate: 0.0,
+        fault_seed: 0,
+    }
+}
+
+/// Truncate a journal at *every* byte offset and reopen: recovery must
+/// always yield the longest valid record prefix, report the torn bytes,
+/// and leave the file appendable.
+#[test]
+fn truncation_at_every_offset_recovers_longest_valid_prefix() {
+    // Build a reference journal, tracking the byte boundary after each
+    // record so we know exactly which prefix every offset should yield.
+    let base = unique_temp_path("ceal-torn-base", "wal");
+    let recs = vec![
+        JournalRecord::Start(campaign_id("rs", 5, 0)),
+        JournalRecord::Solo {
+            component: 0,
+            values: vec![8, 2],
+            value: 3.25,
+            exec_time: 3.25,
+            computer_time: 0.5,
+        },
+        JournalRecord::Coupled {
+            config: vec![16, 4, 1, 2],
+            value: 7.5,
+            exec_time: 7.5,
+            computer_time: 1.0,
+            attempt: 0,
+        },
+        JournalRecord::Marker("round-1".into()),
+        JournalRecord::Coupled {
+            config: vec![32, 8, 2, 4],
+            value: 6.0,
+            exec_time: 6.0,
+            computer_time: 0.9,
+            attempt: 2,
+        },
+    ];
+    let mut boundaries = vec![8u64]; // after the magic, before any record
+    {
+        let (mut j, _) = Journal::open(&base).expect("open base");
+        for r in &recs {
+            j.append(r).expect("append");
+            boundaries.push(std::fs::metadata(&base).expect("stat").len());
+        }
+    }
+    let bytes = std::fs::read(&base).expect("read base");
+    assert_eq!(*boundaries.last().unwrap(), bytes.len() as u64);
+
+    let torn = unique_temp_path("ceal-torn-cut", "wal");
+    for cut in 0..=bytes.len() {
+        std::fs::write(&torn, &bytes[..cut]).expect("write truncated copy");
+        let (mut j, report) = Journal::open(&torn).expect("reopen truncated");
+
+        // Longest boundary at or below the cut decides the surviving prefix.
+        let n = boundaries.iter().filter(|b| **b <= cut as u64).count();
+        let (expect, expect_torn) = if n == 0 {
+            (0, cut as u64) // shorter than the magic: reset to fresh
+        } else {
+            (n - 1, cut as u64 - boundaries[n - 1])
+        };
+        assert_eq!(
+            report.records,
+            recs[..expect],
+            "cut at byte {cut} must recover exactly {expect} record(s)"
+        );
+        assert_eq!(
+            report.truncated_bytes, expect_torn,
+            "cut at byte {cut} must report the torn tail"
+        );
+
+        // The recovered journal must accept appends and round-trip them.
+        let marker = JournalRecord::Marker("post-crash".into());
+        j.append(&marker).expect("append after recovery");
+        drop(j);
+        let (_, report) = Journal::open(&torn).expect("reopen after append");
+        let mut expected: Vec<JournalRecord> = recs[..expect].to_vec();
+        expected.push(marker);
+        assert_eq!(report.records, expected, "cut at byte {cut}");
+    }
+    std::fs::remove_file(&base).ok();
+    std::fs::remove_file(&torn).ok();
+}
+
+/// A finished campaign replayed from its journal costs zero oracle calls
+/// and reproduces the identical recommendation.
+#[test]
+fn completed_campaign_replays_for_free() {
+    let (pool, oracle) = fixture();
+    let path = unique_temp_path("ceal-replay-free", "wal");
+    let id = campaign_id("ceal", 8, 3);
+    let algo = Ceal::new(CealParams::without_history());
+
+    let (first, first_paid_coupled, first_paid_solo) = {
+        let (mut journal, report) = Journal::open(&path).expect("open");
+        let records = prepare_campaign(&mut journal, report.records, &id, false).expect("fresh");
+        let counting = CountingOracle::new(oracle);
+        let journaling = JournalingOracle::new(&counting, journal, &records);
+        let run = algo
+            .try_run(&journaling, pool, 8, 3)
+            .expect("first run succeeds");
+        let stats = journaling.stats();
+        assert_eq!(stats.replayed_coupled + stats.replayed_solo, 0);
+        assert_eq!(
+            stats.fresh_coupled,
+            counting.coupled.load(Ordering::Relaxed)
+        );
+        assert_eq!(stats.fresh_solo, counting.solo.load(Ordering::Relaxed));
+        (run, stats.fresh_coupled, stats.fresh_solo)
+    };
+    assert!(first_paid_coupled > 0 && first_paid_solo > 0);
+
+    let (mut journal, report) = Journal::open(&path).expect("reopen");
+    let records = prepare_campaign(&mut journal, report.records, &id, true).expect("resume");
+    let counting = CountingOracle::new(oracle);
+    let journaling = JournalingOracle::new(&counting, journal, &records);
+    let second = algo
+        .try_run(&journaling, pool, 8, 3)
+        .expect("replayed run succeeds");
+
+    assert_eq!(counting.coupled.load(Ordering::Relaxed), 0, "no re-billing");
+    assert_eq!(counting.solo.load(Ordering::Relaxed), 0, "no re-billing");
+    let stats = journaling.stats();
+    assert_eq!(stats.fresh_coupled + stats.fresh_solo, 0);
+    assert_eq!(stats.replayed_coupled, first_paid_coupled);
+    assert_eq!(stats.replayed_solo, first_paid_solo);
+    assert_eq!(second.best_predicted, first.best_predicted);
+    assert_eq!(second.runs_used(), first.runs_used());
+    std::fs::remove_file(&path).ok();
+}
+
+/// Kill a campaign by tearing its journal mid-file, resume, and check the
+/// crash-recovery invariant: the resumed campaign pays only for what the
+/// crash lost and finishes exactly like a crash-free run.
+#[test]
+fn torn_journal_resume_is_prefix_consistent_with_crash_free_run() {
+    let (pool, oracle) = fixture();
+    let budget = 12;
+    let seed = 7;
+    let crash_free = RandomSampling
+        .try_run(oracle, pool, budget, seed)
+        .expect("crash-free run");
+
+    // Full journaled run to obtain the on-disk record sequence.
+    let path = unique_temp_path("ceal-torn-resume", "wal");
+    let id = campaign_id("rs", budget as u64, seed);
+    {
+        let (mut journal, report) = Journal::open(&path).expect("open");
+        let records = prepare_campaign(&mut journal, report.records, &id, false).expect("fresh");
+        let journaling = JournalingOracle::new(oracle, journal, &records);
+        RandomSampling
+            .try_run(&journaling, pool, budget, seed)
+            .expect("journaled run");
+        assert_eq!(journaling.stats().fresh_coupled, budget as u64);
+    }
+    let full = std::fs::read(&path).expect("read journal");
+    let full_records = Journal::open(&path).expect("reopen full").1.records;
+
+    // Tear it at 60% — mid-record with overwhelming probability.
+    let cut = full.len() * 6 / 10;
+    std::fs::write(&path, &full[..cut]).expect("tear");
+
+    let (mut journal, report) = Journal::open(&path).expect("reopen torn");
+    assert!(
+        report.records.len() < full_records.len(),
+        "tear lost records"
+    );
+    assert_eq!(
+        report.records,
+        full_records[..report.records.len()],
+        "recovery must be a prefix of the crash-free sequence"
+    );
+    let survived = report
+        .records
+        .iter()
+        .filter(|r| matches!(r, JournalRecord::Coupled { .. }))
+        .count() as u64;
+
+    let records = prepare_campaign(&mut journal, report.records, &id, true).expect("resume");
+    let counting = CountingOracle::new(oracle);
+    let journaling = JournalingOracle::new(&counting, journal, &records);
+    let resumed = RandomSampling
+        .try_run(&journaling, pool, budget, seed)
+        .expect("resumed run");
+
+    let stats = journaling.stats();
+    assert_eq!(
+        stats.replayed_coupled, survived,
+        "survivors replay for free"
+    );
+    assert_eq!(
+        stats.fresh_coupled,
+        budget as u64 - survived,
+        "only the lost measurements are re-paid"
+    );
+    assert_eq!(
+        counting.coupled.load(Ordering::Relaxed),
+        budget as u64 - survived
+    );
+    assert_eq!(resumed.best_predicted, crash_free.best_predicted);
+    assert_eq!(resumed.runs_used(), crash_free.runs_used());
+
+    // After the resumed run the journal holds the full sequence again.
+    let healed = Journal::open(&path).expect("reopen healed").1.records;
+    assert_eq!(healed, full_records);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,16 +1,26 @@
 //! Blocking client for the tuning service.
 //!
 //! One [`Client`] wraps one TCP connection and issues requests
-//! synchronously; it is deliberately simple (no pipelining, no retry
-//! policy) because the protocol is strictly request/response. Error frames
+//! synchronously (the protocol is strictly request/response). Error frames
 //! surface as [`ClientError::Server`] with the server's stable error code,
 //! so callers can distinguish a retryable `measurement-failed` from a
 //! permanent `bad-request`.
+//!
+//! [`Client::connect_with_retry`] adds transport-level resilience: both
+//! the initial connect and every request reconnect-and-resend under a
+//! shared [`RetryPolicy`] (exponential backoff, seeded jitter, optional
+//! deadline). Only transport failures are retried — an error *frame* is a
+//! delivered answer and is returned as-is. Note that resending after a
+//! mid-request disconnect can re-execute the request on the server; enable
+//! retry only for traffic where that is acceptable (everything in this
+//! protocol is either idempotent or, like `Advance`, tolerates repetition
+//! by design).
 
 use crate::frame::{read_message, write_message, FrameError};
 use crate::protocol::{
     MetricsReport, Request, Response, SessionStatus, TuneParams, PROTOCOL_VERSION,
 };
+use ceal_core::RetryPolicy;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -29,6 +39,16 @@ pub enum ClientError {
     },
     /// The server answered with a response of the wrong shape.
     UnexpectedResponse(String),
+    /// Every attempt allowed by the retry policy failed at the transport
+    /// level.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// Whether the policy's deadline cut the attempts short.
+        deadline_exceeded: bool,
+        /// The last attempt's failure.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -37,6 +57,17 @@ impl std::fmt::Display for ClientError {
             Self::Transport(e) => write!(f, "transport error: {e}"),
             Self::Server { code, message } => write!(f, "server error [{code}]: {message}"),
             Self::UnexpectedResponse(got) => write!(f, "unexpected response: {got}"),
+            Self::RetriesExhausted {
+                attempts,
+                deadline_exceeded,
+                last,
+            } => {
+                write!(f, "failed {attempts} consecutive attempts")?;
+                if *deadline_exceeded {
+                    write!(f, " (deadline exceeded)")?;
+                }
+                write!(f, ": {last}")
+            }
         }
     }
 }
@@ -46,6 +77,15 @@ impl std::error::Error for ClientError {}
 impl From<FrameError> for ClientError {
     fn from(e: FrameError) -> Self {
         Self::Transport(e)
+    }
+}
+
+/// Folds a spent [`RetryPolicy`] run into the client error vocabulary.
+fn retries_exhausted(e: ceal_core::RetryError<ClientError>) -> ClientError {
+    ClientError::RetriesExhausted {
+        attempts: e.attempts,
+        deadline_exceeded: e.deadline_exceeded,
+        last: Box::new(e.last),
     }
 }
 
@@ -75,8 +115,13 @@ pub struct TuneOutcome {
 }
 
 /// A blocking connection to a tuning server.
+#[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// Reconnect target and policy; `None` for plain [`Client::connect`]
+    /// clients, which fail fast on the first transport error.
+    reconnect: Option<(String, RetryPolicy)>,
+    timeout: Option<Duration>,
 }
 
 impl Client {
@@ -84,26 +129,88 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
         stream.set_nodelay(true).map_err(FrameError::Io)?;
-        let mut client = Client { stream };
-        let version = client.ping()?;
+        let mut client = Client {
+            stream,
+            reconnect: None,
+            timeout: None,
+        };
+        client.check_version()?;
+        Ok(client)
+    }
+
+    /// Connects under `policy` (backoff between connection attempts) and
+    /// keeps the policy for the life of the client: any later request that
+    /// fails at the transport level reconnects and resends under the same
+    /// policy instead of failing fast.
+    pub fn connect_with_retry(addr: &str, policy: RetryPolicy) -> Result<Client, ClientError> {
+        let stream = policy
+            .run(|_| Self::open_stream(addr))
+            .map_err(retries_exhausted)?;
+        let mut client = Client {
+            stream,
+            reconnect: Some((addr.to_string(), policy)),
+            timeout: None,
+        };
+        client.check_version()?;
+        Ok(client)
+    }
+
+    fn open_stream(addr: &str) -> Result<TcpStream, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
+        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        Ok(stream)
+    }
+
+    fn check_version(&mut self) -> Result<(), ClientError> {
+        let version = self.ping()?;
         if version != PROTOCOL_VERSION {
             return Err(ClientError::UnexpectedResponse(format!(
                 "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
             )));
         }
-        Ok(client)
+        Ok(())
     }
 
     /// Sets the per-response wait limit.
-    pub fn set_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
         self.stream
             .set_read_timeout(timeout)
             .map_err(FrameError::Io)?;
+        self.timeout = timeout;
         Ok(())
     }
 
     /// Sends one request and reads one response, translating error frames.
+    ///
+    /// Clients built with [`Client::connect_with_retry`] reconnect and
+    /// resend on transport failures under their policy; error frames are
+    /// delivered answers and are never retried.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let Some((addr, policy)) = self.reconnect.clone() else {
+            return self.request_once(req);
+        };
+        let result = policy.run(|attempt| {
+            if attempt > 1 {
+                let fresh = Self::open_stream(&addr)?;
+                fresh
+                    .set_read_timeout(self.timeout)
+                    .map_err(FrameError::Io)?;
+                self.stream = fresh;
+            }
+            match self.request_once(req) {
+                // Only transport failures are worth a reconnect; anything
+                // else is a delivered answer, smuggled out as terminal.
+                Err(e @ ClientError::Transport(_)) => Err(e),
+                terminal => Ok(terminal),
+            }
+        });
+        match result {
+            Ok(terminal) => terminal,
+            Err(e) => Err(retries_exhausted(e)),
+        }
+    }
+
+    fn request_once(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_message(&mut self.stream, req)?;
         let resp: Response = read_message(&mut self.stream)?;
         match resp {

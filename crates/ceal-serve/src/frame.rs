@@ -7,10 +7,16 @@
 
 use bytes::{Buf, BufMut, Bytes};
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 /// Frames larger than this are rejected as malformed rather than
 /// allocated — a corrupt or hostile length prefix must not OOM the server.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// A peer that starts a frame and then sends nothing for this long is
+/// treated as gone: waiting out mid-frame timeouts forever would let one
+/// stalled (or hostile) connection pin a worker indefinitely.
+pub const MAX_MID_FRAME_STALL: Duration = Duration::from_secs(30);
 
 /// Why a frame could not be read or written.
 #[derive(Debug)]
@@ -70,9 +76,20 @@ pub fn is_idle_timeout(e: &FrameError) -> bool {
     matches!(e, FrameError::Io(io) if is_timeout(io))
 }
 
-fn read_full(r: &mut impl Read, buf: &mut [u8], mut filled: usize) -> std::io::Result<()> {
+fn read_full(r: &mut impl Read, buf: &mut [u8], filled: usize) -> std::io::Result<()> {
+    read_full_limited(r, buf, filled, MAX_MID_FRAME_STALL)
+}
+
+fn read_full_limited(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    mut filled: usize,
+    stall_limit: Duration,
+) -> std::io::Result<()> {
     // Unlike `read_exact`, keeps waiting through read timeouts: once a
-    // frame has started arriving, a slow peer mid-frame is not an error.
+    // frame has started arriving, a slow peer mid-frame is not an error —
+    // but only up to `stall_limit` without a single byte of progress.
+    let mut stall_start: Option<Instant> = None;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
@@ -81,8 +98,20 @@ fn read_full(r: &mut impl Read, buf: &mut [u8], mut filled: usize) -> std::io::R
                     "eof inside frame",
                 ))
             }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted || is_timeout(&e) => continue,
+            Ok(n) => {
+                filled += n;
+                stall_start = None;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                let since = stall_start.get_or_insert_with(Instant::now);
+                if since.elapsed() >= stall_limit {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
             Err(e) => return Err(e),
         }
     }
@@ -165,5 +194,19 @@ mod tests {
     fn eof_inside_header_is_io_error() {
         let mut cursor = std::io::Cursor::new(vec![0u8, 0]);
         assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    struct AlwaysTimeout;
+    impl Read for AlwaysTimeout {
+        fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "slow"))
+        }
+    }
+
+    #[test]
+    fn mid_frame_stall_hits_the_deadline() {
+        let mut buf = [0u8; 4];
+        let err = read_full_limited(&mut AlwaysTimeout, &mut buf, 0, Duration::ZERO).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
     }
 }

@@ -74,6 +74,8 @@ pub struct ServerMetrics {
     pub sessions_created: AtomicU64,
     /// Sessions evicted for idleness.
     pub sessions_evicted: AtomicU64,
+    /// Sessions rebuilt from their on-disk journals at startup.
+    pub sessions_rebuilt: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -130,6 +132,7 @@ impl ServerMetrics {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             sessions_created: self.sessions_created.load(Ordering::Relaxed),
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            sessions_rebuilt: self.sessions_rebuilt.load(Ordering::Relaxed),
             active_sessions,
         }
     }
@@ -162,16 +165,6 @@ impl ceal_core::Oracle for CountingOracle<'_> {
 
     fn objective(&self) -> ceal_sim::Objective {
         self.inner.objective()
-    }
-
-    fn measure(&self, config: &[i64]) -> ceal_core::Measurement {
-        self.metrics.add_oracle_measurements(1);
-        self.inner.measure(config)
-    }
-
-    fn measure_component(&self, component: usize, values: &[i64]) -> ceal_core::SoloMeasurement {
-        self.metrics.add_oracle_measurements(1);
-        self.inner.measure_component(component, values)
     }
 
     fn try_measure(

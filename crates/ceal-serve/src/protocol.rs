@@ -9,7 +9,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Bumped on any incompatible change to [`Request`] or [`Response`].
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: [`MetricsReport`] gained `sessions_rebuilt` (journal-backed session
+/// recovery after a server restart).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Parameters shared by one-shot tuning and session creation.
 ///
@@ -152,6 +155,8 @@ pub struct MetricsReport {
     pub sessions_created: u64,
     /// Sessions evicted for idleness.
     pub sessions_evicted: u64,
+    /// Sessions rebuilt from their on-disk journals at startup.
+    pub sessions_rebuilt: u64,
     /// Sessions currently live.
     pub active_sessions: u64,
 }

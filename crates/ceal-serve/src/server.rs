@@ -39,6 +39,10 @@ pub struct ServeConfig {
     pub idle_timeout: Duration,
     /// Persistent cache location; `None` keeps the cache in memory only.
     pub cache_path: Option<PathBuf>,
+    /// Directory for per-session write-ahead journals; `None` disables
+    /// journaling. With a directory set, sessions that were live when the
+    /// server died are rebuilt from their journals at the next bind.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +52,7 @@ impl Default for ServeConfig {
             workers: 4,
             idle_timeout: Duration::from_secs(600),
             cache_path: None,
+            journal_dir: None,
         }
     }
 }
@@ -80,13 +85,21 @@ impl Server {
             Some(path) => AutotuneCache::at_path(path),
             None => AutotuneCache::in_memory(),
         };
+        let mut sessions = SessionManager::new(config.idle_timeout);
+        if let Some(dir) = &config.journal_dir {
+            sessions = sessions.with_journal_dir(dir.clone())?;
+        }
+        let metrics = ServerMetrics::new();
+        // Campaigns that were live when the previous process died come
+        // back before the first connection is accepted.
+        sessions.rebuild_from_disk(&metrics);
         Ok(Server {
             listener,
             workers: config.workers.max(1),
             inner: Arc::new(ServerInner {
-                sessions: SessionManager::new(config.idle_timeout),
+                sessions,
                 cache,
-                metrics: ServerMetrics::new(),
+                metrics,
                 shutdown: AtomicBool::new(false),
                 addr,
             }),
@@ -325,6 +338,14 @@ fn make_algo(name: &str) -> Box<dyn Autotuner> {
     }
 }
 
+/// Maps a tuner-level measurement error onto the wire vocabulary.
+fn measure_error(e: ceal_core::MeasureError) -> ServeError {
+    match e {
+        ceal_core::MeasureError::Sim(e) => ServeError::Infeasible(e.to_string()),
+        other => ServeError::MeasurementFailed(other.to_string()),
+    }
+}
+
 /// One-shot tuning, replicating the `tune` CLI's construction exactly so a
 /// remote campaign returns the same recommendation as a local one with the
 /// same seed.
@@ -352,8 +373,12 @@ fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError>
     );
     let counting = CountingOracle::new(&oracle, &inner.metrics);
     let algo = make_algo(&params.algo);
-    let run = algo.run(&counting, &pool, params.budget as usize, params.seed);
-    let tuned = counting.measure(&run.best_predicted);
+    let run = algo
+        .try_run(&counting, &pool, params.budget as usize, params.seed)
+        .map_err(measure_error)?;
+    let tuned = counting
+        .try_measure(&run.best_predicted)
+        .map_err(measure_error)?;
 
     let entry = CacheEntry {
         key,

@@ -22,8 +22,9 @@ use crate::metrics::{CountingOracle, ServerMetrics};
 use crate::protocol::{SessionStatus, TuneParams};
 use ceal_core::algorithms::SurrogateKind;
 use ceal_core::{
-    encode_pool, fit_surrogate_samples, sample_pool, ComponentHistory, FaultInjector, FeatureMap,
-    MeasureError, Oracle, SimOracle,
+    encode_pool, fit_surrogate_samples, prepare_campaign, sample_pool, CampaignId,
+    ComponentHistory, FaultInjector, FeatureMap, Journal, JournalRecord, MeasureError, Oracle,
+    SimOracle,
 };
 use ceal_ml::{Dataset, Regressor};
 use ceal_sim::{Objective, Simulator, WorkflowSpec};
@@ -31,6 +32,7 @@ use parking_lot::{Mutex, RwLock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -137,6 +139,26 @@ pub(crate) fn parse_params(p: &TuneParams) -> Result<(WorkflowSpec, Objective), 
     Ok((spec, objective))
 }
 
+/// The campaign header written as a session journal's first record; the
+/// `session:` algo prefix keeps session journals distinguishable from the
+/// `tune` CLI's.
+pub(crate) fn session_campaign_id(
+    params: &TuneParams,
+    failure_rate: f64,
+    fault_seed: u64,
+) -> CampaignId {
+    CampaignId {
+        workflow: params.workflow.clone(),
+        objective: params.objective.clone(),
+        algo: format!("session:{}", params.algo),
+        budget: params.budget,
+        pool: params.pool,
+        seed: params.seed,
+        failure_rate,
+        fault_seed,
+    }
+}
+
 /// Cache key for a campaign; `mode` separates the one-shot `Tune` path
 /// from incremental sessions, which use different search code.
 pub(crate) fn cache_key(
@@ -201,6 +223,9 @@ pub struct Session {
     /// retrying a failed step uses a fresh attempt number, so injected
     /// faults are transient exactly like the crashes they model.
     attempt: u64,
+    /// Write-ahead journal of this campaign's paid-for measurements;
+    /// `None` when the server runs without a journal directory.
+    journal: Option<Journal>,
     last_touch: Instant,
 }
 
@@ -233,6 +258,7 @@ impl Session {
             failure_rate: failure_rate.clamp(0.0, 0.999),
             fault_seed,
             attempt: 0,
+            journal: None,
             last_touch: Instant::now(),
         }
     }
@@ -285,6 +311,27 @@ impl Session {
         Ok(())
     }
 
+    /// Appends one record to the session journal (no-op without one).
+    fn journal_append(&mut self, record: &JournalRecord) -> Result<(), ServeError> {
+        match &mut self.journal {
+            Some(j) => j
+                .append(record)
+                .map_err(|e| ServeError::Internal(format!("journal append failed: {e}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Drops the journal and deletes its file — called when the campaign
+    /// finishes or the client closes the session; there is nothing left to
+    /// recover.
+    fn delete_journal(&mut self) {
+        if let Some(j) = self.journal.take() {
+            let path = j.path().to_path_buf();
+            drop(j);
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
     /// Measures pool configuration `idx`, routing through the fault
     /// injector when this session was created with a failure rate.
     fn measure_pool_config(
@@ -295,23 +342,31 @@ impl Session {
         self.attempt += 1;
         let attempt = self.attempt;
         let cfg = self.pool[idx].clone();
-        let value = if self.failure_rate > 0.0 {
+        let m = if self.failure_rate > 0.0 {
             let injector = FaultInjector::new(&self.oracle, self.failure_rate, self.fault_seed);
             let m = injector
                 .try_measure(&cfg, attempt)
                 .map_err(|e| ServeError::MeasurementFailed(e.to_string()))?;
             metrics.add_oracle_measurements(1);
-            m.value
+            m
         } else {
             CountingOracle::new(&self.oracle, metrics)
                 .try_measure(&cfg)
                 .map_err(|e| ServeError::MeasurementFailed(e.to_string()))?
-                .value
         };
+        // Write-ahead: the measurement is durable before the campaign
+        // state advances, so a crash after this point re-bills nothing.
+        self.journal_append(&JournalRecord::Coupled {
+            config: cfg.clone(),
+            value: m.value,
+            exec_time: m.exec_time,
+            computer_time: m.computer_time,
+            attempt,
+        })?;
         self.measured_idx[idx] = true;
-        self.measured.push((cfg, value));
+        self.measured.push((cfg, m.value));
         self.budget_left -= 1;
-        Ok(value)
+        Ok(m.value)
     }
 
     fn fit_and_score(&mut self) {
@@ -377,16 +432,32 @@ impl Session {
             Phase::Created => {
                 // Historical solo samples are free (§7.5): they model data
                 // the components' owners already had.
-                let counting = CountingOracle::new(&self.oracle, metrics);
                 let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed ^ 0xD157);
-                let collected =
-                    ComponentHistory::collect(&counting, HISTORY_PER_COMPONENT, &mut rng);
+                let (collected, solos) = ComponentHistory::try_collect(
+                    &CountingOracle::new(&self.oracle, metrics),
+                    HISTORY_PER_COMPONENT,
+                    &mut rng,
+                )
+                .map_err(|e| ServeError::MeasurementFailed(e.to_string()))?;
+                // The solo batch commits atomically: replay applies it only
+                // once the closing marker is on disk.
+                for s in &solos {
+                    self.journal_append(&JournalRecord::Solo {
+                        component: s.component,
+                        values: s.values.clone(),
+                        value: s.value,
+                        exec_time: s.exec_time,
+                        computer_time: s.computer_time,
+                    })?;
+                }
+                self.journal_append(&JournalRecord::Marker("collecting-history".into()))?;
                 self.history
                     .merge(&collected)
                     .map_err(|e| ServeError::Internal(e.to_string()))?;
                 self.phase = Phase::CollectingHistory;
             }
             Phase::CollectingHistory => {
+                self.journal_append(&JournalRecord::Marker("phase:bootstrapping".into()))?;
                 self.phase = Phase::Bootstrapping;
                 return self.advance(runs, cache, metrics);
             }
@@ -401,6 +472,7 @@ impl Session {
                 }
                 if self.measured.len() as u64 >= self.n0 || self.budget_left == 0 {
                     self.fit_and_score();
+                    self.journal_append(&JournalRecord::Marker("phase:refining".into()))?;
                     self.phase = Phase::Refining;
                 }
             }
@@ -411,6 +483,7 @@ impl Session {
                 }
                 self.fit_and_score();
                 if self.budget_left == 0 {
+                    self.journal_append(&JournalRecord::Marker("phase:done".into()))?;
                     self.phase = Phase::Done;
                     self.finish(cache);
                 }
@@ -420,8 +493,10 @@ impl Session {
         Ok(self.status())
     }
 
-    /// Publishes the completed campaign to the shared cache.
-    fn finish(&self, cache: &AutotuneCache) {
+    /// Publishes the completed campaign to the shared cache and retires
+    /// the journal — the cache is now the durable record.
+    fn finish(&mut self, cache: &AutotuneCache) {
+        self.delete_journal();
         let Some((best, best_value)) = self.best.clone() else {
             return;
         };
@@ -466,7 +541,7 @@ impl Session {
             .try_measure(config)
             .map_err(|e| match e {
                 MeasureError::Sim(e) => ServeError::Infeasible(e.to_string()),
-                MeasureError::Failed(m) => ServeError::MeasurementFailed(m),
+                other => ServeError::MeasurementFailed(other.to_string()),
             })
     }
 
@@ -482,6 +557,77 @@ impl Session {
         Ok(self.status())
     }
 
+    /// Restores campaign state from journaled records (everything after
+    /// the `Start` header), spending zero oracle budget, then derives the
+    /// phase from what was recovered.
+    ///
+    /// Solo history records commit as a batch: they apply only when their
+    /// closing `collecting-history` marker made it to disk, so a crash
+    /// mid-collection replays as "not started" and the free solos are
+    /// simply re-collected.
+    fn replay(&mut self, records: Vec<JournalRecord>) -> Result<(), ServeError> {
+        let mut solos: Vec<(usize, Vec<i64>, f64)> = Vec::new();
+        let mut history_committed = false;
+        for rec in records {
+            match rec {
+                JournalRecord::Start(_) => {
+                    return Err(ServeError::Internal("duplicate campaign header".into()));
+                }
+                JournalRecord::Solo {
+                    component,
+                    values,
+                    value,
+                    ..
+                } => solos.push((component, values, value)),
+                JournalRecord::Marker(m) if m == "collecting-history" => {
+                    for (c, v, val) in solos.drain(..) {
+                        if c >= self.history.n_components() {
+                            return Err(ServeError::Internal(format!(
+                                "journaled solo for component {c} out of range"
+                            )));
+                        }
+                        self.history.push(c, v, val);
+                    }
+                    history_committed = true;
+                }
+                JournalRecord::Marker(_) => {}
+                JournalRecord::Coupled {
+                    config,
+                    value,
+                    attempt,
+                    ..
+                } => {
+                    if self.budget_left == 0 {
+                        return Err(ServeError::Internal(
+                            "journal holds more coupled runs than the budget".into(),
+                        ));
+                    }
+                    if let Some(i) = self.pool.iter().position(|c| c == &config) {
+                        self.measured_idx[i] = true;
+                    }
+                    self.measured.push((config, value));
+                    self.budget_left -= 1;
+                    self.attempt = self.attempt.max(attempt);
+                }
+            }
+        }
+        self.phase = if !history_committed && self.measured.is_empty() {
+            Phase::Created
+        } else if self.measured.is_empty() {
+            Phase::CollectingHistory
+        } else if (self.measured.len() as u64) < self.n0 && self.budget_left > 0 {
+            Phase::Bootstrapping
+        } else {
+            self.fit_and_score();
+            if self.budget_left > 0 {
+                Phase::Refining
+            } else {
+                Phase::Done
+            }
+        };
+        Ok(())
+    }
+
     fn touch(&mut self) {
         self.last_touch = Instant::now();
     }
@@ -492,6 +638,7 @@ pub struct SessionManager {
     sessions: RwLock<HashMap<u64, Arc<Mutex<Session>>>>,
     next_id: AtomicU64,
     idle_timeout: Duration,
+    journal_dir: Option<PathBuf>,
 }
 
 impl SessionManager {
@@ -502,7 +649,88 @@ impl SessionManager {
             sessions: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             idle_timeout,
+            journal_dir: None,
         }
+    }
+
+    /// Enables per-session write-ahead journals under `dir` (created if
+    /// missing): every live campaign gets a `session-<id>.wal` that
+    /// [`SessionManager::rebuild_from_disk`] can restore after a restart.
+    pub fn with_journal_dir(mut self, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        self.journal_dir = Some(dir);
+        Ok(self)
+    }
+
+    fn journal_path(dir: &Path, id: u64) -> PathBuf {
+        dir.join(format!("session-{id}.wal"))
+    }
+
+    /// Restores every recoverable `session-*.wal` campaign in the journal
+    /// directory, spending zero oracle budget; returns how many came back.
+    /// Unreadable or foreign journals are skipped with a warning — a bad
+    /// file must not stop the server from starting.
+    pub fn rebuild_from_disk(&self, metrics: &ServerMetrics) -> usize {
+        let Some(dir) = self.journal_dir.clone() else {
+            return 0;
+        };
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return 0;
+        };
+        let mut rebuilt = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(id) = name
+                .strip_prefix("session-")
+                .and_then(|s| s.strip_suffix(".wal"))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            match Self::rebuild_one(&entry.path(), id) {
+                Ok(session) => {
+                    self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+                    self.sessions
+                        .write()
+                        .insert(id, Arc::new(Mutex::new(session)));
+                    metrics.sessions_rebuilt.fetch_add(1, Ordering::Relaxed);
+                    rebuilt += 1;
+                }
+                Err(e) => eprintln!("warning: cannot rebuild session from {name}: {e}"),
+            }
+        }
+        rebuilt
+    }
+
+    fn rebuild_one(path: &Path, id: u64) -> Result<Session, ServeError> {
+        let (journal, report) = Journal::open(path)
+            .map_err(|e| ServeError::Internal(format!("journal open failed: {e}")))?;
+        let mut records = report.records.into_iter();
+        let Some(JournalRecord::Start(cid)) = records.next() else {
+            return Err(ServeError::Internal(
+                "journal has no campaign header".into(),
+            ));
+        };
+        let Some(algo) = cid.algo.strip_prefix("session:") else {
+            return Err(ServeError::Internal(format!(
+                "not a session journal (campaign algo '{}')",
+                cid.algo
+            )));
+        };
+        let params = TuneParams {
+            workflow: cid.workflow.clone(),
+            objective: cid.objective.clone(),
+            budget: cid.budget,
+            pool: cid.pool,
+            seed: cid.seed,
+            algo: algo.to_string(),
+        };
+        parse_params(&params)?;
+        let mut session = Session::new(id, params, cid.failure_rate, cid.fault_seed);
+        session.journal = Some(journal);
+        session.replay(records.collect())?;
+        Ok(session)
     }
 
     /// Live session count.
@@ -534,7 +762,7 @@ impl SessionManager {
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let key = cache_key(&params, &Simulator::new().platform, "session");
-        let (session, from_cache) = match cache.get(&key) {
+        let (mut session, from_cache) = match cache.get(&key) {
             Some(entry) => {
                 metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                 (Session::from_cache(id, params, &entry), true)
@@ -544,6 +772,20 @@ impl SessionManager {
                 (Session::new(id, params, failure_rate, fault_seed), false)
             }
         };
+        // Warm-cache sessions spend nothing, so there is nothing worth
+        // journaling; fresh campaigns get a write-ahead journal.
+        if !from_cache {
+            if let Some(dir) = &self.journal_dir {
+                let path = Self::journal_path(dir, id);
+                let _ = std::fs::remove_file(&path); // stale leftover, new campaign
+                let (mut journal, report) = Journal::open(&path)
+                    .map_err(|e| ServeError::Internal(format!("journal open failed: {e}")))?;
+                let cid = session_campaign_id(&session.params, failure_rate, fault_seed);
+                prepare_campaign(&mut journal, report.records, &cid, false)
+                    .map_err(|e| ServeError::Internal(format!("journal header failed: {e}")))?;
+                session.journal = Some(journal);
+            }
+        }
         let status = session.status();
         self.sessions
             .write()
@@ -564,16 +806,21 @@ impl SessionManager {
         Ok(handle)
     }
 
-    /// Closes a session.
+    /// Closes a session, deleting its journal — an explicit close is the
+    /// client saying the campaign no longer needs recovering.
     pub fn close(&self, id: u64) -> Result<(), ServeError> {
-        self.sessions
+        let handle = self
+            .sessions
             .write()
             .remove(&id)
-            .map(|_| ())
-            .ok_or(ServeError::UnknownSession(id))
+            .ok_or(ServeError::UnknownSession(id))?;
+        handle.lock().delete_journal();
+        Ok(())
     }
 
     /// Drops sessions idle longer than the timeout; returns how many.
+    /// Eviction keeps journals on disk: an evicted campaign is still
+    /// recoverable at the next server start, unlike a closed one.
     pub fn evict_idle(&self, metrics: &ServerMetrics) -> usize {
         let mut sessions = self.sessions.write();
         let before = sessions.len();

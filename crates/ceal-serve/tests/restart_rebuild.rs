@@ -1,0 +1,133 @@
+//! Server restarts with `journal_dir` set: sessions that were live when
+//! the process died are rebuilt from their write-ahead journals at the
+//! next bind, continue where they left off, and finish with the exact
+//! result a crash-free session would have produced.
+
+use ceal_serve::{Client, ServeConfig, Server, ServerHandle, SessionStatus, TuneParams};
+use ceal_testutil::unique_temp_path;
+use std::path::PathBuf;
+
+fn start(journal_dir: Option<PathBuf>) -> ServerHandle {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        journal_dir,
+        ..ServeConfig::default()
+    };
+    Server::bind(config).expect("bind loopback").spawn()
+}
+
+fn params(seed: u64) -> TuneParams {
+    TuneParams {
+        workflow: "LV".into(),
+        objective: "exec".into(),
+        budget: 10,
+        pool: 120,
+        seed,
+        algo: "ceal".into(),
+    }
+}
+
+fn drive_to_done(client: &mut Client, session: u64) -> SessionStatus {
+    for _ in 0..100 {
+        let status = client.advance(session, 4).expect("advance");
+        if status.state == "done" {
+            return status;
+        }
+    }
+    panic!("session {session} never reached done");
+}
+
+#[test]
+fn restarted_server_rebuilds_sessions_and_finishes_identically() {
+    // Ground truth: the same campaign run to completion on a journal-less
+    // server that never restarts.
+    let free = start(None);
+    let mut c = Client::connect(free.addr()).expect("connect");
+    let (st, _) = c.create_session(params(42), 0.0, 0).expect("create");
+    let free_done = drive_to_done(&mut c, st.session);
+    c.shutdown().expect("shutdown");
+    free.join().expect("join");
+
+    // Run the campaign partway on a journaled server, then kill the server
+    // (graceful here, but the journal only ever reflects committed work —
+    // the chaos tests cover dying mid-write).
+    let dir = unique_temp_path("ceal-serve-rebuild", "");
+    let h1 = start(Some(dir.clone()));
+    let mut c1 = Client::connect(h1.addr()).expect("connect");
+    let (st1, from_cache) = c1.create_session(params(42), 0.0, 0).expect("create");
+    assert!(!from_cache);
+    c1.advance(st1.session, 3).expect("history phase");
+    let mid = c1.advance(st1.session, 3).expect("bootstrap phase");
+    assert_ne!(
+        mid.state, "done",
+        "the campaign must be interrupted mid-run"
+    );
+    assert!(
+        mid.measured > 0,
+        "some coupled budget must already be spent"
+    );
+    c1.shutdown().expect("shutdown");
+    h1.join().expect("join");
+    assert!(
+        dir.join(format!("session-{}.wal", st1.session)).exists(),
+        "a live session's journal must survive the server"
+    );
+
+    // A fresh server on the same journal directory resurrects the session:
+    // same id, same spent state, zero re-measured budget.
+    let h2 = start(Some(dir.clone()));
+    let mut c2 = Client::connect(h2.addr()).expect("reconnect");
+    let metrics = c2.metrics().expect("metrics");
+    assert_eq!(metrics.sessions_rebuilt, 1);
+    assert_eq!(
+        metrics.oracle_measurements, 0,
+        "rebuilding from the journal must not touch the oracle"
+    );
+    let rebuilt = c2.status(st1.session).expect("rebuilt session status");
+    assert_eq!(rebuilt.state, mid.state);
+    assert_eq!(rebuilt.measured, mid.measured);
+    assert_eq!(rebuilt.budget_left, mid.budget_left);
+    assert_eq!(rebuilt.history_samples, mid.history_samples);
+
+    // Continuing lands on the crash-free recommendation, spending only
+    // what the interruption lost.
+    let done = drive_to_done(&mut c2, st1.session);
+    assert_eq!(done.best, free_done.best);
+    assert_eq!(done.best_value, free_done.best_value);
+    assert_eq!(done.measured, free_done.measured);
+    assert_eq!(done.budget_left, free_done.budget_left);
+
+    // Closing a finished session retires its journal.
+    c2.close_session(st1.session).expect("close");
+    assert!(
+        !dir.join(format!("session-{}.wal", st1.session)).exists(),
+        "a closed session must not leave a journal behind"
+    );
+    c2.shutdown().expect("shutdown");
+    h2.join().expect("join");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupt or foreign file in the journal directory must not stop the
+/// server from starting or serving.
+#[test]
+fn unreadable_journals_are_skipped_at_startup() {
+    let dir = unique_temp_path("ceal-serve-badwal", "");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    std::fs::write(dir.join("session-7.wal"), b"not a journal at all").expect("write");
+    std::fs::write(dir.join("notes.txt"), b"ignore me").expect("write");
+
+    let handle = start(Some(dir.clone()));
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    assert_eq!(client.metrics().expect("metrics").sessions_rebuilt, 0);
+
+    // The server still creates and runs sessions normally.
+    let (st, _) = client.create_session(params(7), 0.0, 0).expect("create");
+    let done = drive_to_done(&mut client, st.session);
+    assert!(done.best.is_some());
+    client.close_session(st.session).expect("close");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,168 @@
+//! Crash-point chaos facility for crash-recovery testing.
+//!
+//! Production code sprinkles named crash points (e.g.
+//! `"journal.after_write"`) at the instants where a process death would be
+//! most interesting — between a write and its fsync, between an fsync and
+//! the in-memory state update. A test arms a point with [`arm`] (or
+//! [`arm_after`] to crash on the *n*-th hit), runs the workload under
+//! [`std::panic::catch_unwind`], and the armed point kills the workload by
+//! panicking with a [`CrashPoint`] payload. Because the panic unwinds
+//! instead of aborting, the test process survives and can immediately
+//! reopen the on-disk state to assert recovery — the file system sees
+//! exactly what it would have seen had the process died at that line.
+//!
+//! Call sites are compiled in only under a `chaos` cargo feature of the
+//! *instrumented* crate (see `ceal-core`'s `journal` module); an unarmed
+//! or feature-less build pays nothing.
+//!
+//! The registry is process-global, so chaos tests within one test binary
+//! must serialize themselves (a `static Mutex` works) and call
+//! [`disarm_all`] when done.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Fast path: `false` whenever no point is armed, so [`hit`] is a single
+/// relaxed load in the common case.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Armed points: name → hits remaining before the crash fires.
+static ARMED: Mutex<Option<HashMap<String, u64>>> = Mutex::new(None);
+
+/// The panic payload thrown by an armed crash point. Tests downcast the
+/// payload from `catch_unwind` with [`is_crash`] to distinguish a
+/// simulated crash from a genuine test failure.
+#[derive(Debug)]
+pub struct CrashPoint(pub String);
+
+fn registry() -> std::sync::MutexGuard<'static, Option<HashMap<String, u64>>> {
+    // A previous simulated crash may have poisoned the mutex while a
+    // *different* thread held it; the map is always left consistent, so
+    // recover rather than propagate.
+    ARMED.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Arms `name` to crash on its next hit.
+pub fn arm(name: &str) {
+    arm_after(name, 1);
+}
+
+/// Arms `name` to crash on its `nth` hit (1-based; `0` behaves as `1`).
+pub fn arm_after(name: &str, nth: u64) {
+    let mut guard = registry();
+    guard
+        .get_or_insert_with(HashMap::new)
+        .insert(name.to_string(), nth.max(1));
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Disarms every crash point. Chaos tests call this after each
+/// `catch_unwind` so a leftover armed point cannot leak into the next case.
+pub fn disarm_all() {
+    let mut guard = registry();
+    if let Some(map) = guard.as_mut() {
+        map.clear();
+    }
+    ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// A crash point: panics with a [`CrashPoint`] payload if `name` is armed
+/// and this is its scheduled hit; otherwise a near-free no-op.
+pub fn hit(name: &str) {
+    if !ACTIVE.load(Ordering::SeqCst) {
+        return;
+    }
+    let fire = {
+        let mut guard = registry();
+        let Some(map) = guard.as_mut() else { return };
+        match map.get_mut(name) {
+            None => false,
+            Some(remaining) => {
+                *remaining -= 1;
+                if *remaining == 0 {
+                    map.remove(name);
+                    if map.is_empty() {
+                        ACTIVE.store(false, Ordering::SeqCst);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+        // The guard drops here, before the panic, so the registry mutex is
+        // never poisoned by the simulated crash itself.
+    };
+    if fire {
+        std::panic::panic_any(CrashPoint(name.to_string()));
+    }
+}
+
+/// Downcasts a `catch_unwind` payload back to the [`CrashPoint`] that threw
+/// it, or `None` if the panic came from somewhere else.
+pub fn is_crash(payload: &(dyn Any + Send)) -> Option<&CrashPoint> {
+    payload.downcast_ref::<CrashPoint>()
+}
+
+/// Installs a process-wide panic hook that silences [`CrashPoint`] panics
+/// (they are expected, and dozens of them flood test output) while leaving
+/// every other panic's report intact. Idempotent; chaos tests call it once
+/// at the top.
+pub fn silence_crash_panics() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashPoint>().is_none() {
+                default(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The registry is process-global; serialize the tests that touch it.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn armed_point_crashes_once_then_disarms() {
+        let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        silence_crash_panics();
+        arm("t.point");
+        let err = catch_unwind(AssertUnwindSafe(|| hit("t.point"))).unwrap_err();
+        let cp = is_crash(err.as_ref()).expect("payload must be a CrashPoint");
+        assert_eq!(cp.0, "t.point");
+        // Fired points disarm themselves.
+        hit("t.point");
+        disarm_all();
+    }
+
+    #[test]
+    fn nth_hit_arming_skips_earlier_hits() {
+        let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        silence_crash_panics();
+        arm_after("t.nth", 3);
+        hit("t.nth");
+        hit("t.nth");
+        let err = catch_unwind(AssertUnwindSafe(|| hit("t.nth"))).unwrap_err();
+        assert!(is_crash(err.as_ref()).is_some());
+        disarm_all();
+    }
+
+    #[test]
+    fn unarmed_points_are_no_ops() {
+        let _g = GUARD.lock().unwrap_or_else(|p| p.into_inner());
+        disarm_all();
+        hit("t.unarmed");
+        arm("t.other");
+        hit("t.unarmed");
+        disarm_all();
+    }
+}
