@@ -1,0 +1,353 @@
+//! `bench-serve` — load harness for the serve core.
+//!
+//! Reproduces the shape the reactor exists for: N mostly-idle open
+//! sessions (each one held TCP connection that completed a ping
+//! handshake) plus M active clients driving requests at a target
+//! aggregate RPS, all against one server process. Records achieved
+//! throughput and p50/p99/p999 request latency to `BENCH_serve.json`
+//! (keyed by git revision) so successive PRs track the serve path the
+//! way `BENCH_ml.json` tracks the ML hot path.
+//!
+//! ```text
+//! cargo run --release -p ceal-bench --bin bench-serve -- \
+//!     [--idle N] [--active M] [--rps R] [--duration SECS] \
+//!     [--workers W] [--addr HOST:PORT] [--out PATH]
+//! ```
+//!
+//! Without `--addr` a server is spawned automatically: in-process when
+//! the file-descriptor limit fits both sides of every connection, and as
+//! a child process (`--server-only`) otherwise, so the serving process
+//! still holds one fd per open session even where the per-process fd cap
+//! cannot cover client *and* server sides at once.
+
+use ceal_bench::report::print_table;
+use ceal_serve::frame::{read_message, write_message};
+use ceal_serve::protocol::{Request, Response, PROTOCOL_VERSION};
+use ceal_serve::{ServeConfig, Server};
+use std::io::{BufRead, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    idle: usize,
+    active: usize,
+    rps: u64,
+    duration: Duration,
+    workers: usize,
+    addr: Option<String>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        idle: 10_000,
+        active: 8,
+        rps: 2_000,
+        duration: Duration::from_secs(10),
+        workers: 4,
+        addr: None,
+        out: "BENCH_serve.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    fn want<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+        v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} wants a value");
+            std::process::exit(2);
+        })
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--idle" => args.idle = want("--idle", it.next()),
+            "--active" => args.active = want::<usize>("--active", it.next()).max(1),
+            "--rps" => args.rps = want::<u64>("--rps", it.next()).max(1),
+            "--duration" => args.duration = Duration::from_secs_f64(want("--duration", it.next())),
+            "--workers" => args.workers = want::<usize>("--workers", it.next()).max(1),
+            "--addr" => args.addr = Some(want("--addr", it.next())),
+            "--out" => args.out = want("--out", it.next()),
+            other => {
+                eprintln!(
+                    "unknown argument '{other}' (usage: bench-serve [--idle N] [--active M] \
+                     [--rps R] [--duration SECS] [--workers W] [--addr HOST:PORT] [--out PATH])"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Connects and completes one ping handshake, leaving the connection open.
+fn open_session(addr: &str) -> std::io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    write_message(&mut stream, &Request::Ping).map_err(std::io::Error::other)?;
+    match read_message::<Response>(&mut stream).map_err(std::io::Error::other)? {
+        Response::Pong { version } if version == PROTOCOL_VERSION => Ok(stream),
+        other => Err(std::io::Error::other(format!(
+            "unexpected handshake response: {other:?}"
+        ))),
+    }
+}
+
+/// Sorted-latency percentile (nearest-rank on an already-sorted slice).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Raises the fd limit as far as `want` allows and returns the result
+/// (the unchanged current limit on non-Linux).
+fn raise_fds(want: u64) -> u64 {
+    #[cfg(target_os = "linux")]
+    match ceal_serve::raise_nofile_limit(want) {
+        Ok(limit) => limit,
+        Err(e) => {
+            eprintln!("warning: could not raise fd limit: {e}");
+            0
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = want;
+        1024
+    }
+}
+
+/// `--server-only` mode: bind, announce the address on stdout, serve
+/// until a `Shutdown` request drains the loop.
+fn run_server_only(workers: usize) -> ! {
+    raise_fds(u64::MAX / 2); // as many fds as the hard cap allows
+    let server = Server::bind(ServeConfig {
+        workers,
+        idle_timeout: Duration::from_secs(3600),
+        ..ServeConfig::default()
+    })
+    .expect("failed to bind server");
+    println!("ADDR {}", server.local_addr());
+    std::io::stdout().flush().expect("stdout flush failed");
+    server.run().expect("serve loop failed");
+    std::process::exit(0);
+}
+
+/// Who is serving, and what must be torn down afterwards.
+enum Backend {
+    External,
+    InProcess(ceal_serve::ServerHandle),
+    Child(std::process::Child),
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--server-only") {
+        let workers = std::env::args()
+            .skip_while(|a| a != "--workers")
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4);
+        run_server_only(workers);
+    }
+    let args = parse_args();
+
+    // Each idle session costs one client fd here, plus one server fd when
+    // the server shares this process. If the limit covers only one side,
+    // serve from a child process instead — the *serving* process still
+    // holds every open session.
+    let both_sides = (2 * args.idle + args.active + 512) as u64;
+    let one_side = (args.idle + args.active + 512) as u64;
+    let limit = raise_fds(both_sides);
+    if limit < one_side {
+        eprintln!(
+            "warning: fd limit {limit} below the {one_side} the client side \
+             wants; lower --idle or raise ulimit -n"
+        );
+    }
+
+    let (backend, addr) = match &args.addr {
+        Some(a) => (Backend::External, a.clone()),
+        None if limit >= both_sides => {
+            let server = Server::bind(ServeConfig {
+                workers: args.workers,
+                // Idle sessions must stay alive for the whole run.
+                idle_timeout: args.duration + Duration::from_secs(600),
+                ..ServeConfig::default()
+            })
+            .expect("failed to bind server");
+            let handle = server.spawn();
+            let addr = handle.addr().to_string();
+            (Backend::InProcess(handle), addr)
+        }
+        None => {
+            let exe = std::env::current_exe().expect("cannot locate own executable");
+            let mut child = std::process::Command::new(exe)
+                .args(["--server-only", "--workers", &args.workers.to_string()])
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("failed to spawn server process");
+            let mut line = String::new();
+            std::io::BufReader::new(child.stdout.take().expect("child stdout missing"))
+                .read_line(&mut line)
+                .expect("failed to read server address");
+            let addr = line
+                .trim()
+                .strip_prefix("ADDR ")
+                .unwrap_or_else(|| panic!("unexpected server banner: {line:?}"))
+                .to_string();
+            eprintln!("note: fd limit {limit} < {both_sides}; serving from child process");
+            (Backend::Child(child), addr)
+        }
+    };
+
+    // ---- Idle sessions: open, handshake, hold. ----
+    let open_start = Instant::now();
+    let opened = Arc::new(AtomicUsize::new(0));
+    let openers = 8.min(args.idle.max(1));
+    let mut idle_conns: Vec<TcpStream> = Vec::with_capacity(args.idle);
+    let mut handles = Vec::new();
+    for t in 0..openers {
+        let n = args.idle / openers + usize::from(t < args.idle % openers);
+        let addr = addr.clone();
+        let opened = Arc::clone(&opened);
+        handles.push(std::thread::spawn(move || {
+            let mut conns = Vec::with_capacity(n);
+            for _ in 0..n {
+                match open_session(&addr) {
+                    Ok(c) => {
+                        conns.push(c);
+                        opened.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("error: idle session open failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            conns
+        }));
+    }
+    for h in handles {
+        idle_conns.extend(h.join().expect("opener thread panicked"));
+    }
+    let open_secs = open_start.elapsed().as_secs_f64();
+    println!(
+        "opened {} idle sessions in {:.1}s ({:.0}/s)",
+        idle_conns.len(),
+        open_secs,
+        idle_conns.len() as f64 / open_secs.max(1e-9),
+    );
+
+    // ---- Active load: M clients paced to the aggregate target RPS. ----
+    let deadline = Instant::now() + args.duration;
+    let mut load_handles = Vec::new();
+    for _ in 0..args.active {
+        let addr = addr.clone();
+        let period = Duration::from_secs_f64(args.active as f64 / args.rps as f64);
+        load_handles.push(std::thread::spawn(move || {
+            let mut stream = open_session(&addr).expect("active client connect failed");
+            let mut latencies_ms: Vec<f64> = Vec::new();
+            let mut next = Instant::now();
+            while Instant::now() < deadline {
+                let t = Instant::now();
+                write_message(&mut stream, &Request::Ping).expect("active write failed");
+                let resp: Response = read_message(&mut stream).expect("active read failed");
+                assert!(matches!(resp, Response::Pong { .. }));
+                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                next += period;
+                let now = Instant::now();
+                if next > now {
+                    std::thread::sleep(next - now);
+                } else {
+                    // Fell behind the pace; don't try to catch up in a
+                    // burst, just resume the cadence from here.
+                    next = now;
+                }
+            }
+            latencies_ms
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in load_handles {
+        latencies.extend(h.join().expect("load thread panicked"));
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let total = latencies.len();
+    let achieved_rps = total as f64 / args.duration.as_secs_f64();
+    let (p50, p99, p999) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 99.0),
+        percentile(&latencies, 99.9),
+    );
+
+    // ---- Shut the spawned server down (drains the idle sessions too). ----
+    match backend {
+        Backend::External => {}
+        Backend::InProcess(handle) => {
+            let mut ctl = open_session(&addr).expect("shutdown connect failed");
+            write_message(&mut ctl, &Request::Shutdown).expect("shutdown write failed");
+            let _ = read_message::<Response>(&mut ctl);
+            handle.join().expect("server failed to drain");
+        }
+        Backend::Child(mut child) => {
+            let mut ctl = open_session(&addr).expect("shutdown connect failed");
+            write_message(&mut ctl, &Request::Shutdown).expect("shutdown write failed");
+            let _ = read_message::<Response>(&mut ctl);
+            let status = child.wait().expect("server process did not exit");
+            assert!(status.success(), "server process failed: {status}");
+        }
+    }
+    drop(idle_conns);
+
+    print_table(
+        "serve load",
+        &["metric", "value"],
+        &[
+            vec!["idle sessions".into(), format!("{}", args.idle)],
+            vec!["active clients".into(), format!("{}", args.active)],
+            vec!["target rps".into(), format!("{}", args.rps)],
+            vec!["achieved rps".into(), format!("{achieved_rps:.0}")],
+            vec!["requests".into(), format!("{total}")],
+            vec!["p50 ms".into(), format!("{p50:.3}")],
+            vec!["p99 ms".into(), format!("{p99:.3}")],
+            vec!["p999 ms".into(), format!("{p999:.3}")],
+        ],
+    );
+
+    let json = serde_json::json!({
+        "git_rev": git_rev(),
+        "idle_sessions": args.idle,
+        "active_clients": args.active,
+        "target_rps": args.rps,
+        "duration_s": args.duration.as_secs_f64(),
+        "workers": args.workers,
+        "open_sessions_per_s": idle_conns_rate(args.idle, open_secs),
+        "requests": total,
+        "achieved_rps": achieved_rps,
+        "p50_ms": p50,
+        "p99_ms": p99,
+        "p999_ms": p999,
+    });
+    match std::fs::write(&args.out, serde_json::to_string_pretty(&json).unwrap()) {
+        Ok(()) => println!("\n  [saved {}]", args.out),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", args.out);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn idle_conns_rate(idle: usize, open_secs: f64) -> f64 {
+    idle as f64 / open_secs.max(1e-9)
+}

@@ -95,6 +95,13 @@ fn fnv64(data: &[u8]) -> u64 {
 pub struct AutotuneCache {
     entries: Mutex<Vec<CacheEntry>>,
     path: Option<PathBuf>,
+    /// Bumped under the `entries` lock on every mutation; each snapshot
+    /// carries its generation so persistence can tell which is newest.
+    generation: Mutex<u64>,
+    /// Highest generation already durably renamed into place. Writers
+    /// carrying an older snapshot skip the write instead of clobbering a
+    /// newer file (the lost-update race this field exists to close).
+    persisted: Mutex<u64>,
 }
 
 impl AutotuneCache {
@@ -103,6 +110,8 @@ impl AutotuneCache {
         Self {
             entries: Mutex::new(Vec::new()),
             path: None,
+            generation: Mutex::new(0),
+            persisted: Mutex::new(0),
         }
     }
 
@@ -115,6 +124,8 @@ impl AutotuneCache {
         Self {
             entries: Mutex::new(entries),
             path: Some(path),
+            generation: Mutex::new(0),
+            persisted: Mutex::new(0),
         }
     }
 
@@ -152,12 +163,20 @@ impl AutotuneCache {
     /// Inserts (or replaces) a campaign and persists the cache when a path
     /// is configured. Persistence failures are reported but don't fail the
     /// insert — the in-memory cache stays authoritative for this process.
+    ///
+    /// Concurrent puts are safe: each snapshot is taken together with a
+    /// generation number under the entries lock, writers persist one at a
+    /// time through a unique temp file, and a writer holding a stale
+    /// snapshot yields to the newer one already on disk instead of
+    /// renaming over it.
     pub fn put(&self, entry: CacheEntry) -> std::io::Result<()> {
-        let snapshot = {
+        let (snapshot, gen) = {
             let mut entries = self.entries.lock();
             entries.retain(|e| e.key != entry.key);
             entries.push(entry);
-            entries.clone()
+            let mut generation = self.generation.lock();
+            *generation += 1;
+            (entries.clone(), *generation)
         };
         let Some(path) = &self.path else {
             return Ok(());
@@ -169,11 +188,30 @@ impl AutotuneCache {
             entries: snapshot,
         };
         let json = serde_json::to_string_pretty(&file).map_err(std::io::Error::other)?;
+        // One writer at a time; the lock also orders the generation check
+        // against the rename it guards.
+        let mut persisted = self.persisted.lock();
+        if *persisted >= gen {
+            // A newer snapshot already reached disk; writing this one
+            // would resurrect a state missing someone's committed entry.
+            return Ok(());
+        }
         // Write-then-rename so a crash mid-write can't corrupt the cache:
-        // a torn temp file simply fails checksum validation next load.
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, path)
+        // a torn temp file simply fails checksum validation next load. The
+        // temp name embeds the generation, so even an out-of-band writer
+        // (or a crashed run's leftover) can't be half-overwritten.
+        let tmp = path.with_extension(format!("tmp.{gen}"));
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            // Durable before visible: rename must never expose a file
+            // whose bytes could still be lost by a crash.
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        *persisted = gen;
+        Ok(())
     }
 }
 

@@ -24,6 +24,10 @@ use ceal_core::RetryPolicy;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Socket write-timeout granularity; each tick lets the frame writer
+/// check its overall stall deadline.
+const WRITE_TICK: Duration = Duration::from_millis(200);
+
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
@@ -128,7 +132,7 @@ impl Client {
     /// Connects and verifies the protocol version with a ping.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
-        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        Self::configure_stream(&stream)?;
         let mut client = Client {
             stream,
             reconnect: None,
@@ -157,8 +161,19 @@ impl Client {
 
     fn open_stream(addr: &str) -> Result<TcpStream, ClientError> {
         let stream = TcpStream::connect(addr).map_err(FrameError::Io)?;
-        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        Self::configure_stream(&stream)?;
         Ok(stream)
+    }
+
+    fn configure_stream(stream: &TcpStream) -> Result<(), ClientError> {
+        stream.set_nodelay(true).map_err(FrameError::Io)?;
+        // Writes must surface timeouts so `write_message`'s stall deadline
+        // (MAX_MID_FRAME_STALL) can bite: a server that stops reading
+        // must not pin the client in `write` forever.
+        stream
+            .set_write_timeout(Some(WRITE_TICK))
+            .map_err(FrameError::Io)?;
+        Ok(())
     }
 
     fn check_version(&mut self) -> Result<(), ClientError> {

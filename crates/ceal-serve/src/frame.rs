@@ -50,16 +50,67 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
-/// Writes one frame: length prefix plus payload in a single `write_all`.
+/// Writes one frame: length prefix plus payload, bounded by the default
+/// [`MAX_MID_FRAME_STALL`] write-stall deadline.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    write_frame_limited(w, payload, MAX_MID_FRAME_STALL)
+}
+
+/// Writes one frame, erroring if the writer makes no progress for
+/// `stall_limit`. The deadline only bites when the underlying stream has a
+/// write timeout set (so `write` surfaces `WouldBlock`/`TimedOut` instead
+/// of blocking forever) — sockets on the serve and client paths do.
+pub fn write_frame_limited(
+    w: &mut impl Write,
+    payload: &[u8],
+    stall_limit: Duration,
+) -> Result<(), FrameError> {
     if payload.len() > MAX_FRAME_LEN {
         return Err(FrameError::TooLarge(payload.len()));
     }
     let mut buf = Vec::with_capacity(4 + payload.len());
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
-    w.write_all(&buf)?;
+    write_all_limited(w, &buf, stall_limit)?;
     w.flush()?;
+    Ok(())
+}
+
+/// `write_all` with a stall deadline: a peer that accepts no bytes for
+/// `stall_limit` (its receive window stays closed) is treated as gone.
+/// Mirrors [`read_full_limited`]: any progress resets the clock.
+pub fn write_all_limited(
+    w: &mut impl Write,
+    buf: &[u8],
+    stall_limit: Duration,
+) -> std::io::Result<()> {
+    let mut written = 0usize;
+    let mut stall_start: Option<Instant> = None;
+    while written < buf.len() {
+        match w.write(&buf[written..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer accepts no bytes",
+                ))
+            }
+            Ok(n) => {
+                written += n;
+                stall_start = None;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                let since = stall_start.get_or_insert_with(Instant::now);
+                if since.elapsed() >= stall_limit {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "peer stalled mid-write",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
     Ok(())
 }
 
@@ -143,8 +194,17 @@ pub fn read_frame(r: &mut impl Read) -> Result<Bytes, FrameError> {
 
 /// Serializes `msg` as JSON and writes it as one frame.
 pub fn write_message<T: serde::Serialize>(w: &mut impl Write, msg: &T) -> Result<(), FrameError> {
+    write_message_limited(w, msg, MAX_MID_FRAME_STALL)
+}
+
+/// [`write_message`] with an explicit write-stall deadline.
+pub fn write_message_limited<T: serde::Serialize>(
+    w: &mut impl Write,
+    msg: &T,
+    stall_limit: Duration,
+) -> Result<(), FrameError> {
     let json = serde_json::to_string(msg).map_err(|e| FrameError::Decode(e.to_string()))?;
-    write_frame(w, json.as_bytes())
+    write_frame_limited(w, json.as_bytes(), stall_limit)
 }
 
 /// Reads one frame and deserializes its JSON payload.
@@ -208,5 +268,27 @@ mod tests {
         let mut buf = [0u8; 4];
         let err = read_full_limited(&mut AlwaysTimeout, &mut buf, 0, Duration::ZERO).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+    }
+
+    /// A sink whose kernel buffer is permanently full.
+    struct NeverAccepts;
+    impl Write for NeverAccepts {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn mid_write_stall_hits_the_deadline() {
+        let err = write_all_limited(&mut NeverAccepts, b"abc", Duration::ZERO).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+
+        match write_frame_limited(&mut NeverAccepts, b"abc", Duration::ZERO) {
+            Err(FrameError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::TimedOut),
+            other => panic!("expected stalled write, got {other:?}"),
+        }
     }
 }

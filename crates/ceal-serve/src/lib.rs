@@ -13,10 +13,14 @@
 //! * [`cache`] — completed campaigns keyed by (workflow, platform
 //!   fingerprint, objective, pool seed, budget, algorithm), persisted as
 //!   checksummed JSON; warm answers spend zero oracle measurements.
-//! * [`server`] + [`metrics`] — the multi-threaded TCP server
-//!   (`std::net` + `ceal-par`), batched surrogate prediction over
-//!   `parallel_map`, per-endpoint counters and latency histograms, and
-//!   graceful shutdown that drains in-flight work.
+//! * [`server`] + [`metrics`] — the TCP server (`std::net` + `ceal-par`),
+//!   batched surrogate prediction over `parallel_map`, per-endpoint
+//!   counters and latency histograms, and graceful shutdown that drains
+//!   in-flight work.
+//! * [`reactor`] (Linux, the default serve core) — a readiness-driven
+//!   epoll event loop owning all connections with per-connection framed
+//!   state machines and a timer wheel, so tens of thousands of idle
+//!   sessions cost one fd each instead of a blocked worker thread.
 //!
 //! ```no_run
 //! use ceal_serve::{Client, Server, ServeConfig, TuneParams};
@@ -43,15 +47,21 @@ pub mod client;
 pub mod frame;
 pub mod metrics;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod session;
 
 pub use cache::{platform_fingerprint, AutotuneCache, CacheEntry, CacheKey};
 pub use client::{Client, ClientError, TuneOutcome};
-pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use frame::{
+    read_frame, write_frame, write_frame_limited, FrameError, MAX_FRAME_LEN, MAX_MID_FRAME_STALL,
+};
 pub use metrics::{CountingOracle, Endpoint, ServerMetrics};
 pub use protocol::{
     EndpointStats, MetricsReport, Request, Response, SessionStatus, TuneParams, PROTOCOL_VERSION,
 };
+#[cfg(target_os = "linux")]
+pub use reactor::sys::{raise_nofile_limit, set_recv_buffer_fd, set_send_buffer_fd};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use session::{ServeError, Session, SessionManager};

@@ -1,0 +1,338 @@
+//! Per-connection framed state machine for the event loop.
+//!
+//! Each connection is always in exactly one state:
+//!
+//! ```text
+//! Reading (header → payload) → Dispatching → Writing → Reading …
+//! ```
+//!
+//! *Reading* accumulates one length-prefixed frame across however many
+//! readiness events it takes; *Dispatching* means a decoded request is on
+//! the worker pool and reads are paused (built-in backpressure: a peer
+//! cannot queue a second request until its first is answered, matching the
+//! strictly request/response protocol); *Writing* flushes the serialized
+//! response. The state machine itself never blocks — it only consumes
+//! what the socket already has and reports what it needs next.
+
+use crate::frame::{FrameError, MAX_FRAME_LEN};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// What a connection is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Accumulating one request frame.
+    Reading,
+    /// A decoded request is being handled by a worker; reads are paused.
+    Dispatching,
+    /// Flushing a response frame.
+    Writing,
+}
+
+/// Result of pumping a readable connection.
+pub enum ReadOutcome {
+    /// The socket is drained for now; more bytes are needed.
+    NeedMore,
+    /// One complete frame payload arrived.
+    Frame(Vec<u8>),
+    /// The peer hung up cleanly at a frame boundary.
+    Closed,
+    /// The stream is broken or out of sync; answer once (if the error
+    /// merits a frame) and close.
+    Broken(FrameError),
+}
+
+/// Result of pumping a writable connection.
+pub enum WriteOutcome {
+    /// The whole pending response has been flushed.
+    Done,
+    /// The kernel buffer filled; wait for writability.
+    NeedMore,
+    /// The stream is broken; close without further ceremony.
+    Broken(std::io::Error),
+}
+
+/// One registered connection.
+pub struct Conn {
+    pub stream: TcpStream,
+    pub state: ConnState,
+    /// Close as soon as the pending write flushes (error frames, shutdown
+    /// acknowledgements, drain).
+    pub close_after_write: bool,
+    /// Whether a stall timer entry is outstanding in the wheel — at most
+    /// one per connection; firings re-arm against `stall_deadline`.
+    pub timer_armed: bool,
+    /// When the current mid-frame read or unfinished write must have made
+    /// progress by; `None` at frame boundaries.
+    pub stall_deadline: Option<Instant>,
+    header: [u8; 4],
+    header_filled: usize,
+    payload: Vec<u8>,
+    payload_filled: usize,
+    out: Vec<u8>,
+    out_written: usize,
+}
+
+impl Conn {
+    /// Wraps an accepted (already nonblocking) stream.
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            state: ConnState::Reading,
+            close_after_write: false,
+            timer_armed: false,
+            stall_deadline: None,
+            header: [0; 4],
+            header_filled: 0,
+            payload: Vec::new(),
+            payload_filled: 0,
+            out: Vec::new(),
+            out_written: 0,
+        }
+    }
+
+    /// Whether a frame has started arriving but is not complete.
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0 || !self.payload.is_empty()
+    }
+
+    fn reset_read(&mut self) {
+        self.header_filled = 0;
+        self.payload = Vec::new();
+        self.payload_filled = 0;
+    }
+
+    /// Consumes available bytes until one frame completes or the socket
+    /// runs dry. Call only in [`ConnState::Reading`].
+    pub fn pump_read(&mut self) -> ReadOutcome {
+        // Header first.
+        while self.header_filled < 4 {
+            match self.stream.read(&mut self.header[self.header_filled..4]) {
+                Ok(0) => {
+                    return if self.mid_frame() {
+                        self.reset_read();
+                        ReadOutcome::Broken(FrameError::Io(std::io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "eof inside frame",
+                        )))
+                    } else {
+                        ReadOutcome::Closed
+                    };
+                }
+                Ok(n) => self.header_filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return ReadOutcome::NeedMore,
+                Err(e) => return ReadOutcome::Broken(FrameError::Io(e)),
+            }
+        }
+        if self.payload.is_empty() {
+            let len = u32::from_be_bytes(self.header) as usize;
+            if len > MAX_FRAME_LEN {
+                self.reset_read();
+                return ReadOutcome::Broken(FrameError::TooLarge(len));
+            }
+            if len == 0 {
+                self.reset_read();
+                return ReadOutcome::Frame(Vec::new());
+            }
+            self.payload = vec![0u8; len];
+            self.payload_filled = 0;
+        }
+        while self.payload_filled < self.payload.len() {
+            match self.stream.read(&mut self.payload[self.payload_filled..]) {
+                Ok(0) => {
+                    self.reset_read();
+                    return ReadOutcome::Broken(FrameError::Io(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "eof inside frame",
+                    )));
+                }
+                Ok(n) => self.payload_filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return ReadOutcome::NeedMore,
+                Err(e) => return ReadOutcome::Broken(FrameError::Io(e)),
+            }
+        }
+        let frame = std::mem::take(&mut self.payload);
+        self.reset_read();
+        ReadOutcome::Frame(frame)
+    }
+
+    /// Queues an already-framed response (length prefix + payload) and
+    /// moves to [`ConnState::Writing`].
+    pub fn start_write(&mut self, framed: Vec<u8>) {
+        debug_assert!(self.out_written >= self.out.len(), "write already pending");
+        self.out = framed;
+        self.out_written = 0;
+        self.state = ConnState::Writing;
+    }
+
+    /// Flushes as much of the pending response as the kernel accepts.
+    /// Call only in [`ConnState::Writing`].
+    pub fn pump_write(&mut self) -> WriteOutcome {
+        while self.out_written < self.out.len() {
+            match self.stream.write(&self.out[self.out_written..]) {
+                Ok(0) => {
+                    return WriteOutcome::Broken(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "peer accepts no bytes",
+                    ))
+                }
+                Ok(n) => self.out_written += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return WriteOutcome::NeedMore,
+                Err(e) => return WriteOutcome::Broken(e),
+            }
+        }
+        self.out = Vec::new();
+        self.out_written = 0;
+        WriteOutcome::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A nonblocking loopback pair: (registered side, peer side).
+    fn pair() -> (Conn, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (Conn::new(server), peer)
+    }
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    /// Polls `pump_read` until it reports something other than `NeedMore`.
+    fn pump_until(conn: &mut Conn) -> ReadOutcome {
+        for _ in 0..200 {
+            match conn.pump_read() {
+                ReadOutcome::NeedMore => std::thread::sleep(std::time::Duration::from_millis(2)),
+                other => return other,
+            }
+        }
+        panic!("pump_read never progressed");
+    }
+
+    #[test]
+    fn whole_frame_in_one_readiness_event() {
+        let (mut conn, mut peer) = pair();
+        peer.write_all(&framed(b"hello")).unwrap();
+        match pump_until(&mut conn) {
+            ReadOutcome::Frame(p) => assert_eq!(p, b"hello"),
+            _ => panic!("expected frame"),
+        }
+        assert!(!conn.mid_frame());
+    }
+
+    #[test]
+    fn frame_dribbled_byte_by_byte() {
+        let (mut conn, mut peer) = pair();
+        let bytes = framed(b"dribble");
+        let handle = std::thread::spawn(move || {
+            for b in bytes {
+                peer.write_all(&[b]).unwrap();
+                peer.flush().unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            peer
+        });
+        match pump_until(&mut conn) {
+            ReadOutcome::Frame(p) => assert_eq!(p, b"dribble"),
+            _ => panic!("expected frame"),
+        }
+        drop(handle.join().unwrap());
+    }
+
+    #[test]
+    fn mid_frame_flag_tracks_partial_headers_and_payloads() {
+        let (mut conn, mut peer) = pair();
+        assert!(!conn.mid_frame());
+        peer.write_all(&[0, 0]).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(conn.pump_read(), ReadOutcome::NeedMore));
+        assert!(conn.mid_frame(), "partial header counts as mid-frame");
+        peer.write_all(&[0, 5, b'a', b'b']).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(conn.pump_read(), ReadOutcome::NeedMore));
+        assert!(conn.mid_frame(), "partial payload counts as mid-frame");
+        peer.write_all(b"cde").unwrap();
+        match pump_until(&mut conn) {
+            ReadOutcome::Frame(p) => assert_eq!(p, b"abcde"),
+            _ => panic!("expected frame"),
+        }
+        assert!(!conn.mid_frame());
+    }
+
+    #[test]
+    fn eof_at_boundary_is_clean_mid_frame_is_broken() {
+        let (mut conn, peer) = pair();
+        drop(peer);
+        assert!(matches!(pump_until(&mut conn), ReadOutcome::Closed));
+
+        let (mut conn, mut peer) = pair();
+        peer.write_all(&64u32.to_be_bytes()).unwrap();
+        peer.write_all(b"short").unwrap();
+        drop(peer);
+        match pump_until(&mut conn) {
+            ReadOutcome::Broken(FrameError::Io(e)) => {
+                assert_eq!(e.kind(), ErrorKind::UnexpectedEof)
+            }
+            _ => panic!("truncated frame must be broken"),
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocation() {
+        let (mut conn, mut peer) = pair();
+        peer.write_all(&[0xFF, 0xFF, 0xFF, 0xFF]).unwrap();
+        match pump_until(&mut conn) {
+            ReadOutcome::Broken(FrameError::TooLarge(n)) => assert!(n > MAX_FRAME_LEN),
+            _ => panic!("oversized prefix must be rejected"),
+        }
+    }
+
+    #[test]
+    fn write_resumes_after_kernel_buffer_fills() {
+        let (mut conn, mut peer) = pair();
+        // A payload far bigger than loopback buffers, written with nobody
+        // reading yet: the kernel buffer must fill and report NeedMore.
+        let big = framed(&vec![0x5A; 4 << 20]);
+        let total = big.len();
+        conn.start_write(big);
+        match conn.pump_write() {
+            WriteOutcome::NeedMore => {}
+            WriteOutcome::Done => panic!("4 MiB cannot fit in one write"),
+            WriteOutcome::Broken(e) => panic!("write broke: {e}"),
+        }
+        // Now drain from the peer side; the pump must resume and finish.
+        let reader = std::thread::spawn(move || {
+            let mut sunk = vec![0u8; 64 << 10];
+            let mut count = 0usize;
+            while count < total {
+                match peer.read(&mut sunk) {
+                    Ok(0) => break,
+                    Ok(n) => count += n,
+                    Err(e) => panic!("peer read failed: {e}"),
+                }
+            }
+            count
+        });
+        loop {
+            match conn.pump_write() {
+                WriteOutcome::Done => break,
+                WriteOutcome::NeedMore => std::thread::sleep(std::time::Duration::from_millis(1)),
+                WriteOutcome::Broken(e) => panic!("write broke: {e}"),
+            }
+        }
+        assert_eq!(reader.join().unwrap(), total, "peer saw every byte");
+    }
+}

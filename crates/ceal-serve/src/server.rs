@@ -1,15 +1,26 @@
-//! The TCP service: accept loop, worker pool, dispatch, graceful shutdown.
+//! The TCP service: connection handling, worker pool, dispatch, graceful
+//! shutdown.
 //!
-//! Connections are handed to a fixed [`ceal_par::ThreadPool`]; each worker
-//! speaks the framed protocol until the peer hangs up. Request handling is
-//! wrapped in `catch_unwind`, so a panic (a bug, or an oracle hitting an
-//! unguarded path) answers one client with an `internal` error frame
-//! instead of killing a worker. Shutdown is graceful: the `Shutdown`
-//! request flips a flag, a self-connection unblocks the accept loop, and
-//! [`Server::run`] returns only after every in-flight connection drains.
+//! On Linux the default serve core is the readiness-driven
+//! [`reactor`](crate::reactor): one event-loop thread owns every
+//! connection and hands decoded requests to the worker pool, so idle
+//! sessions cost a registered fd instead of a blocked thread. The
+//! blocking thread-per-connection path remains as a fallback (other
+//! platforms, or [`ServeConfig::event_loop`] set to `false`); both paths
+//! speak the identical wire protocol and share `dispatch`.
+//!
+//! Request handling is wrapped in `catch_unwind`, so a panic (a bug, or
+//! an oracle hitting an unguarded path) answers one client with an
+//! `internal` error frame instead of killing a worker. Shutdown is
+//! graceful: the `Shutdown` request flips a flag, the serve loop is woken
+//! (reactor: completion eventfd; blocking: a loopback self-connection),
+//! and [`Server::run`] returns only after every in-flight connection
+//! drains.
 
 use crate::cache::{AutotuneCache, CacheEntry};
-use crate::frame::{is_idle_timeout, read_message, write_message, FrameError};
+use crate::frame::{
+    is_idle_timeout, read_message, write_message_limited, FrameError, MAX_MID_FRAME_STALL,
+};
 use crate::metrics::{CountingOracle, Endpoint, ServerMetrics};
 use crate::protocol::{Request, Response, TuneParams, PROTOCOL_VERSION};
 use crate::session::{
@@ -43,6 +54,16 @@ pub struct ServeConfig {
     /// journaling. With a directory set, sessions that were live when the
     /// server died are rebuilt from their journals at the next bind.
     pub journal_dir: Option<PathBuf>,
+    /// How long a mid-frame read or unfinished response write may go
+    /// without a single byte of progress before the connection is dropped.
+    pub stall_deadline: Duration,
+    /// Use the epoll reactor (Linux). Ignored elsewhere; `false` forces
+    /// the blocking thread-per-connection path everywhere.
+    pub event_loop: bool,
+    /// `SO_SNDBUF` for accepted connections on the reactor path; `None`
+    /// keeps the kernel default. Small values are mainly useful in tests
+    /// that need to fill the send buffer quickly.
+    pub send_buffer: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +74,9 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(600),
             cache_path: None,
             journal_dir: None,
+            stall_deadline: MAX_MID_FRAME_STALL,
+            event_loop: true,
+            send_buffer: None,
         }
     }
 }
@@ -60,18 +84,40 @@ impl Default for ServeConfig {
 /// How often an idle connection wakes up to check the shutdown flag.
 const IDLE_TICK: Duration = Duration::from_millis(200);
 
-struct ServerInner {
-    sessions: SessionManager,
-    cache: AutotuneCache,
-    metrics: ServerMetrics,
-    shutdown: AtomicBool,
-    addr: SocketAddr,
+/// Shared server state, visible to both serve cores.
+pub(crate) struct ServerInner {
+    pub(crate) sessions: SessionManager,
+    pub(crate) cache: AutotuneCache,
+    pub(crate) metrics: ServerMetrics,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) addr: SocketAddr,
+    /// Mid-frame / mid-write progress deadline.
+    pub(crate) stall_deadline: Duration,
+    /// How often idle-session eviction runs, independent of accepts.
+    pub(crate) evict_cadence: Duration,
+    /// Optional `SO_SNDBUF` for accepted connections (reactor path).
+    pub(crate) send_buffer: Option<usize>,
+}
+
+/// The loopback address a server can reach itself at: wildcard binds
+/// (`0.0.0.0`, `::`) are listen-only — connecting *to* the wildcard is
+/// non-portable — so the wakeup connection must target localhost on the
+/// bound port. Specific addresses pass through unchanged.
+pub(crate) fn wakeup_addr(bound: SocketAddr) -> SocketAddr {
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+    let ip = match bound.ip() {
+        IpAddr::V4(v4) if v4.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        IpAddr::V6(v6) if v6.is_unspecified() => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, bound.port())
 }
 
 /// A bound-but-not-yet-serving tuning service.
 pub struct Server {
     listener: TcpListener,
     workers: usize,
+    event_loop: bool,
     inner: Arc<ServerInner>,
 }
 
@@ -93,15 +139,21 @@ impl Server {
         // Campaigns that were live when the previous process died come
         // back before the first connection is accepted.
         sessions.rebuild_from_disk(&metrics);
+        let evict_cadence =
+            (config.idle_timeout / 4).clamp(Duration::from_millis(25), Duration::from_secs(1));
         Ok(Server {
             listener,
             workers: config.workers.max(1),
+            event_loop: config.event_loop,
             inner: Arc::new(ServerInner {
                 sessions,
                 cache,
                 metrics,
                 shutdown: AtomicBool::new(false),
                 addr,
+                stall_deadline: config.stall_deadline,
+                evict_cadence,
+                send_buffer: config.send_buffer,
             }),
         })
     }
@@ -114,8 +166,36 @@ impl Server {
     /// Serves until a `Shutdown` request arrives, then drains in-flight
     /// connections and returns.
     pub fn run(self) -> std::io::Result<()> {
+        #[cfg(target_os = "linux")]
+        if self.event_loop {
+            return crate::reactor::run(self.listener, self.inner, self.workers);
+        }
+        self.run_blocking()
+    }
+
+    /// Thread-per-connection fallback serve loop.
+    fn run_blocking(self) -> std::io::Result<()> {
         let pool = ceal_par::ThreadPool::new(self.workers);
         let wg = ceal_par::WaitGroup::new();
+        // Idle-session eviction must not depend on fresh connections
+        // arriving, so a ticker drives it at the same cadence the reactor
+        // timer would.
+        let ticker = {
+            let inner = Arc::clone(&self.inner);
+            std::thread::Builder::new()
+                .name("ceal-serve-evict".into())
+                .spawn(move || {
+                    let mut last = Instant::now();
+                    while !inner.shutdown.load(Ordering::Acquire) {
+                        std::thread::sleep(inner.evict_cadence.min(Duration::from_millis(50)));
+                        if last.elapsed() >= inner.evict_cadence {
+                            inner.sessions.evict_idle(&inner.metrics);
+                            last = Instant::now();
+                        }
+                    }
+                })
+                .expect("failed to spawn eviction ticker")
+        };
         for stream in self.listener.incoming() {
             if self.inner.shutdown.load(Ordering::Acquire) {
                 break;
@@ -124,7 +204,6 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            self.inner.sessions.evict_idle(&self.inner.metrics);
             let inner = Arc::clone(&self.inner);
             pool.execute_tracked(&wg, move || handle_connection(stream, inner));
         }
@@ -132,6 +211,7 @@ impl Server {
         // (workers see the shutdown flag at their next frame boundary).
         wg.wait();
         drop(pool);
+        let _ = ticker.join();
         Ok(())
     }
 
@@ -167,7 +247,7 @@ impl ServerHandle {
     }
 }
 
-fn endpoint_of(req: &Request) -> Endpoint {
+pub(crate) fn endpoint_of(req: &Request) -> Endpoint {
     match req {
         Request::Ping => Endpoint::Ping,
         Request::Tune(_) => Endpoint::Tune,
@@ -184,7 +264,19 @@ fn endpoint_of(req: &Request) -> Endpoint {
 
 fn handle_connection(mut stream: TcpStream, inner: Arc<ServerInner>) {
     let _ = stream.set_read_timeout(Some(IDLE_TICK));
+    // Writes must surface timeouts so the stall deadline can be enforced;
+    // without this a peer that stops reading pins the worker forever.
+    let _ = stream.set_write_timeout(Some(IDLE_TICK));
     let _ = stream.set_nodelay(true);
+    if let Some(bytes) = inner.send_buffer {
+        #[cfg(target_os = "linux")]
+        {
+            use std::os::unix::io::AsRawFd;
+            let _ = crate::reactor::sys::set_send_buffer_fd(stream.as_raw_fd(), bytes);
+        }
+        #[cfg(not(target_os = "linux"))]
+        let _ = bytes;
+    }
     loop {
         let req: Request = match read_message(&mut stream) {
             Ok(req) => req,
@@ -198,12 +290,13 @@ fn handle_connection(mut stream: TcpStream, inner: Arc<ServerInner>) {
             Err(e) => {
                 // A malformed frame means we've lost sync with the peer:
                 // answer once, then close.
-                let _ = write_message(
+                let _ = write_message_limited(
                     &mut stream,
                     &Response::Error {
                         code: "bad-request".into(),
                         message: e.to_string(),
                     },
+                    inner.stall_deadline,
                 );
                 return;
             }
@@ -224,12 +317,14 @@ fn handle_connection(mut stream: TcpStream, inner: Arc<ServerInner>) {
         });
         let is_error = matches!(resp, Response::Error { .. });
         inner.metrics.record(endpoint, start.elapsed(), is_error);
-        if write_message(&mut stream, &resp).is_err() {
+        if write_message_limited(&mut stream, &resp, inner.stall_deadline).is_err() {
             return;
         }
         if is_shutdown && !is_error {
-            // Unblock the accept loop so `run` can start draining.
-            let _ = TcpStream::connect(inner.addr);
+            // Unblock the accept loop so `run` can start draining. The
+            // bind address may be a wildcard, which is listen-only —
+            // wake through loopback on the bound port.
+            let _ = TcpStream::connect(wakeup_addr(inner.addr));
             return;
         }
         if inner.shutdown.load(Ordering::Acquire) {
@@ -252,7 +347,7 @@ fn ok_or_error<T>(result: Result<T, ServeError>, into: impl FnOnce(T) -> Respons
     }
 }
 
-fn dispatch(req: Request, inner: &ServerInner) -> Response {
+pub(crate) fn dispatch(req: Request, inner: &ServerInner) -> Response {
     let draining = inner.shutdown.load(Ordering::Acquire);
     if draining && matches!(req, Request::Tune(_) | Request::CreateSession { .. }) {
         return error_frame(ServeError::ShuttingDown);
@@ -404,4 +499,27 @@ fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError>
         component_runs,
         from_cache: false,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakeup_addr_maps_wildcards_to_loopback() {
+        let v4: SocketAddr = "0.0.0.0:8080".parse().unwrap();
+        assert_eq!(wakeup_addr(v4), "127.0.0.1:8080".parse().unwrap());
+        let v6: SocketAddr = "[::]:9090".parse().unwrap();
+        assert_eq!(wakeup_addr(v6), "[::1]:9090".parse().unwrap());
+    }
+
+    #[test]
+    fn wakeup_addr_keeps_specific_addresses() {
+        let v4: SocketAddr = "127.0.0.1:7000".parse().unwrap();
+        assert_eq!(wakeup_addr(v4), v4);
+        let lan: SocketAddr = "192.168.1.20:7000".parse().unwrap();
+        assert_eq!(wakeup_addr(lan), lan);
+        let v6: SocketAddr = "[::1]:7000".parse().unwrap();
+        assert_eq!(wakeup_addr(v6), v6);
+    }
 }

@@ -1,0 +1,273 @@
+//! Regression tests for the connection-lifecycle bug-fix pass. Each test
+//! here fails against the pre-fix code:
+//!
+//! 1. `AutotuneCache::put` persisted outside the lock through one shared
+//!    temp name, so concurrent puts could rename an *older* snapshot over
+//!    a newer one and silently drop a committed entry.
+//! 2. The shutdown wakeup self-connected to the *bind* address, which for
+//!    wildcard binds (`0.0.0.0`/`::`) targets the wildcard — non-portable
+//!    and listen-only on some platforms.
+//! 3. Response writes had no stall deadline: a peer that stopped reading
+//!    after the kernel send buffer filled pinned a worker forever.
+//! 4. `evict_idle` only ran from the accept loop, so with no fresh
+//!    connections arriving, expired sessions were never evicted and
+//!    `active_sessions` lied.
+
+use ceal_serve::{AutotuneCache, CacheEntry, CacheKey, Client, ServeConfig, Server, TuneParams};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn cache_key(tag: u64) -> CacheKey {
+    CacheKey {
+        workflow: "LV".into(),
+        platform: "test-platform".into(),
+        objective: "comp".into(),
+        pool: 500,
+        seed: tag,
+        budget: 25,
+        algo: "tune:ceal".into(),
+    }
+}
+
+fn cache_entry(tag: u64) -> CacheEntry {
+    CacheEntry {
+        key: cache_key(tag),
+        best: vec![18, 18, 2, 18, 18, 2],
+        best_value: tag as f64,
+        runs_used: 25,
+        component_runs: 12,
+        samples: vec![(vec![18, 18, 2, 18, 18, 2], tag as f64)],
+    }
+}
+
+fn lv_params(seed: u64) -> TuneParams {
+    TuneParams {
+        workflow: "LV".into(),
+        objective: "exec".into(),
+        budget: 10,
+        pool: 120,
+        seed,
+        algo: "ceal".into(),
+    }
+}
+
+/// Bug 1: concurrent puts hammering one cache path must not lose any
+/// committed entry — the reload from disk has to contain every one.
+#[test]
+fn concurrent_cache_puts_never_lose_committed_entries() {
+    let path = ceal_testutil::unique_temp_path("ceal-cache-race", "json");
+    let _ = std::fs::remove_file(&path);
+    const THREADS: u64 = 8;
+    const PUTS_PER_THREAD: u64 = 12;
+    {
+        let cache = Arc::new(AutotuneCache::at_path(&path));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..PUTS_PER_THREAD {
+                        cache.put(cache_entry(t * PUTS_PER_THREAD + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer panicked");
+        }
+        assert_eq!(cache.len() as u64, THREADS * PUTS_PER_THREAD);
+    }
+    // What reloads from disk is what actually survived the rename race.
+    let reloaded = AutotuneCache::at_path(&path);
+    let mut missing = Vec::new();
+    for tag in 0..THREADS * PUTS_PER_THREAD {
+        if reloaded.get(&cache_key(tag)).is_none() {
+            missing.push(tag);
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        missing.is_empty(),
+        "entries committed by put() vanished from disk: {missing:?}"
+    );
+}
+
+/// Bug 2: a wildcard-bound server must shut down cleanly — the wakeup
+/// connection has to target loopback, not the (listen-only) wildcard.
+/// Covers both serve cores; the reactor needs no wakeup connection at
+/// all, the blocking path uses the fixed address.
+#[test]
+fn wildcard_bind_shutdown_round_trip() {
+    for event_loop in [true, false] {
+        let server = Server::bind(ServeConfig {
+            addr: "0.0.0.0:0".into(),
+            workers: 2,
+            event_loop,
+            ..ServeConfig::default()
+        })
+        .expect("bind wildcard");
+        let port = server.local_addr().port();
+        let handle = server.spawn();
+        let mut client = Client::connect(("127.0.0.1", port)).expect("connect via loopback");
+        client.ping().expect("ping");
+        client.shutdown().expect("shutdown");
+        // The serve loop must actually exit — a wakeup aimed at the
+        // wildcard would leave the accept loop blocked forever.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(handle.join());
+        });
+        rx.recv_timeout(Duration::from_secs(10))
+            .unwrap_or_else(|_| panic!("serve loop (event_loop={event_loop}) never exited"))
+            .expect("serve loop failed");
+    }
+}
+
+/// Bug 3: a peer that stops reading must not hold a worker past the
+/// write-stall deadline. With one worker and a rogue connection whose
+/// responses are never consumed, the next client's ping only gets
+/// answered if the stalled write is abandoned.
+#[cfg(target_os = "linux")]
+#[test]
+fn slow_reader_cannot_pin_a_worker_past_the_write_deadline() {
+    use ceal_serve::frame::{read_message, write_message};
+    use ceal_serve::protocol::{Request, Response};
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::os::unix::io::AsRawFd;
+
+    let handle = Server::bind(ServeConfig {
+        workers: 1,
+        // Blocking path: the bug lived in the worker's write_all. (The
+        // reactor never blocks workers on writes by construction; its
+        // stall deadline is covered by the torture test.)
+        event_loop: false,
+        stall_deadline: Duration::from_millis(400),
+        send_buffer: Some(4096),
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let addr = handle.addr();
+
+    // The rogue client: tiny receive buffer, pipelines pings, never reads
+    // a single response. The server's send buffer fills and its write
+    // stalls.
+    let mut rogue = TcpStream::connect(addr).expect("rogue connect");
+    ceal_serve::set_recv_buffer_fd(rogue.as_raw_fd(), 2048).expect("shrink rcvbuf");
+    // Shrink our send side too, so the flood can't just sit in kernel
+    // buffers: it has to reach (and stall) the server.
+    ceal_serve::set_send_buffer_fd(rogue.as_raw_fd(), 4096).expect("shrink sndbuf");
+    rogue
+        .set_write_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
+    let ping = {
+        let json = serde_json::to_vec(&Request::Ping).unwrap();
+        let mut b = (json.len() as u32).to_be_bytes().to_vec();
+        b.extend_from_slice(&json);
+        b
+    };
+    // The flood ends one of two ways, both meaning the server's write
+    // path jammed: our own writes stall behind the full buffers, or the
+    // server abandons the stalled write and resets the connection.
+    let mut jammed = false;
+    let mut stalls = 0u32;
+    'flood: for _ in 0..500_000 {
+        let mut sent = 0usize;
+        while sent < ping.len() {
+            match rogue.write(&ping[sent..]) {
+                Ok(n) => {
+                    sent += n;
+                    stalls = 0;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    stalls += 1;
+                    if stalls >= 10 {
+                        jammed = true;
+                        break 'flood;
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::BrokenPipe
+                            | std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    jammed = true;
+                    break 'flood;
+                }
+                Err(e) => panic!("rogue write failed unexpectedly: {e}"),
+            }
+        }
+    }
+    assert!(jammed, "flood never filled the server's send buffer");
+
+    // The single worker must come back within the stall deadline and
+    // serve the next connection. Pre-fix it is pinned in write_all
+    // forever and this read times out.
+    let t = Instant::now();
+    let mut probe = TcpStream::connect(addr).expect("probe connect");
+    probe
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_message(&mut probe, &Request::Ping).expect("probe write");
+    let resp: Response = read_message(&mut probe).expect("probe must be answered");
+    assert!(matches!(resp, Response::Pong { .. }));
+    assert!(
+        t.elapsed() < Duration::from_secs(8),
+        "worker freed too slowly: {:?}",
+        t.elapsed()
+    );
+
+    drop(rogue);
+    drop(probe);
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("drain");
+}
+
+/// Bug 4: sessions expire even when no new connection ever arrives —
+/// eviction is timer-driven, so a metrics request over the *same*
+/// connection sees the idle session gone.
+#[test]
+fn idle_sessions_evicted_with_zero_incoming_connections() {
+    for event_loop in [true, false] {
+        let handle = Server::bind(ServeConfig {
+            workers: 2,
+            idle_timeout: Duration::from_millis(300),
+            event_loop,
+            ..ServeConfig::default()
+        })
+        .expect("bind")
+        .spawn();
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        client
+            .create_session(lv_params(5), 0.0, 0)
+            .expect("create session");
+        let m = client.metrics().expect("metrics");
+        assert_eq!(
+            m.active_sessions, 1,
+            "session live (event_loop={event_loop})"
+        );
+
+        // Nobody connects; nobody touches the session. Eviction has to
+        // fire from the timer alone.
+        std::thread::sleep(Duration::from_millis(1200));
+
+        let m = client.metrics().expect("metrics after idle");
+        assert_eq!(
+            m.active_sessions, 0,
+            "idle session not evicted without new connections (event_loop={event_loop})"
+        );
+        assert!(m.sessions_evicted >= 1);
+
+        client.shutdown().expect("shutdown");
+        handle.join().expect("drain");
+    }
+}

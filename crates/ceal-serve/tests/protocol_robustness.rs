@@ -2,166 +2,55 @@
 //! oversized length prefixes, and outright garbage must never panic or
 //! hang a worker. The server answers with one `bad-request` error frame
 //! (when it still can) and closes; it keeps serving everyone else.
+//!
+//! The corpus (shared with the reactor torture test) runs against both
+//! serve cores: the default (the epoll reactor on Linux) and the blocking
+//! thread-per-connection fallback.
 
-use ceal_serve::{read_frame, Client, FrameError, Response, ServeConfig, Server, ServerHandle};
-use std::io::Write;
-use std::net::{Shutdown, TcpStream};
-use std::time::Duration;
+mod hostile;
 
-fn start_server() -> ServerHandle {
+use ceal_serve::{Client, ServeConfig, Server, ServerHandle};
+use hostile::{corpus, poke};
+
+fn start_server(event_loop: bool) -> ServerHandle {
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
+        event_loop,
         ..ServeConfig::default()
     };
     Server::bind(config).expect("bind loopback").spawn()
 }
 
-/// Wraps `payload` in a valid length prefix.
-fn framed(payload: &[u8]) -> Vec<u8> {
-    let mut buf = (payload.len() as u32).to_be_bytes().to_vec();
-    buf.extend_from_slice(payload);
-    buf
-}
-
-/// What the server did with a malformed byte sequence.
-#[derive(Debug, PartialEq)]
-enum Reaction {
-    /// One `bad-request` error frame, then the connection closed.
-    ErrorFrameThenClose,
-    /// The connection closed with no frame (e.g. we hung up mid-frame).
-    CleanClose,
-}
-
-/// Sends `bytes`, optionally half-closes, and watches how the connection
-/// ends. Panics if the server hangs past the read timeout or answers with
-/// anything other than a `bad-request` error frame.
-fn poke(addr: std::net::SocketAddr, bytes: &[u8], half_close: bool) -> Reaction {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
-        .expect("set timeout");
-    // The server may already have closed; a failed write is fine.
-    let _ = stream.write_all(bytes);
-    let _ = stream.flush();
-    if half_close {
-        let _ = stream.shutdown(Shutdown::Write);
-    }
-    let mut reaction = Reaction::CleanClose;
-    loop {
-        match read_frame(&mut stream) {
-            Ok(payload) => {
-                let resp: Response =
-                    serde_json::from_slice(&payload).expect("server frames are valid JSON");
-                match resp {
-                    Response::Error { code, .. } => {
-                        assert_eq!(code, "bad-request", "malformed input maps to bad-request");
-                        reaction = Reaction::ErrorFrameThenClose;
-                    }
-                    other => panic!("garbage must never yield a success response: {other:?}"),
-                }
-            }
-            Err(FrameError::Closed) => return reaction,
-            // EOF splitting a frame, or an RST (the server closing with
-            // our unread bytes still in its buffer), still means it closed
-            // on us; treat like a close.
-            Err(FrameError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::UnexpectedEof
-                        | std::io::ErrorKind::ConnectionReset
-                        | std::io::ErrorKind::ConnectionAborted
-                        | std::io::ErrorKind::BrokenPipe
-                ) =>
-            {
-                return reaction
-            }
-            Err(e) => panic!("unexpected transport state after garbage: {e}"),
-        }
-    }
-}
-
-#[test]
-fn malformed_frames_never_hang_or_panic_the_server() {
-    let handle = start_server();
+fn run_corpus(event_loop: bool) {
+    let handle = start_server(event_loop);
     let addr = handle.addr();
 
-    // An expectation of `None` means "error frame or close, either is
-    // fine": when the server closes with our unsent tail still unread, the
-    // RST it triggers can outrun (and destroy) the queued error frame.
-    let cases: &[(&str, Vec<u8>, bool, Option<Reaction>)] = &[
-        // An HTTP request: its first 4 bytes ("GET ") decode to a ~1.2 GB
-        // length prefix, which must be rejected before any allocation.
-        (
-            "http-request",
-            b"GET / HTTP/1.1\r\nHost: x\r\n\r\n".to_vec(),
-            false,
-            None,
-        ),
-        // The worst-case length prefix (exactly one header, fully read, so
-        // the error frame is delivered reliably).
-        (
-            "oversized-prefix",
-            vec![0xFF, 0xFF, 0xFF, 0xFF],
-            false,
-            Some(Reaction::ErrorFrameThenClose),
-        ),
-        // A well-framed payload that is not JSON.
-        (
-            "binary-garbage-payload",
-            framed(&[0x00, 0xFF, 0x13, 0x37, 0x80, 0x81]),
-            false,
-            Some(Reaction::ErrorFrameThenClose),
-        ),
-        // Valid JSON of the wrong shape.
-        (
-            "wrong-shape-json",
-            framed(br#"{"type":"launch-missiles","count":3}"#),
-            false,
-            Some(Reaction::ErrorFrameThenClose),
-        ),
-        // A frame that promises 64 bytes and delivers 5, then EOF.
-        (
-            "truncated-frame",
-            {
-                let mut b = 64u32.to_be_bytes().to_vec();
-                b.extend_from_slice(b"hello");
-                b
-            },
-            true,
-            Some(Reaction::ErrorFrameThenClose),
-        ),
-        // A bare header with no payload at all, then EOF.
-        (
-            "header-only",
-            16u32.to_be_bytes().to_vec(),
-            true,
-            Some(Reaction::ErrorFrameThenClose),
-        ),
-        // Hanging up immediately is not an error worth answering.
-        (
-            "instant-hangup",
-            Vec::new(),
-            true,
-            Some(Reaction::CleanClose),
-        ),
-    ];
-
-    for (name, bytes, half_close, expect) in cases {
-        let got = poke(addr, bytes, *half_close);
-        if let Some(expect) = expect {
-            assert_eq!(got, *expect, "case {name}");
+    for case in corpus() {
+        let got = poke(addr, &case.bytes, case.half_close);
+        if let Some(expect) = &case.expect {
+            assert_eq!(got, *expect, "case {}", case.name);
         }
         // Whatever one hostile peer sent, the next honest client is served.
         let mut probe = Client::connect(addr).unwrap_or_else(|e| {
-            panic!("server unreachable after case {name}: {e}");
+            panic!("server unreachable after case {}: {e}", case.name);
         });
         probe.ping().unwrap_or_else(|e| {
-            panic!("server cannot answer after case {name}: {e}");
+            panic!("server cannot answer after case {}: {e}", case.name);
         });
     }
 
     let mut client = Client::connect(addr).expect("connect");
     client.shutdown().expect("shutdown");
     handle.join().expect("workers all exit cleanly");
+}
+
+#[test]
+fn malformed_frames_never_hang_or_panic_the_server() {
+    run_corpus(true); // the default core (reactor on Linux)
+}
+
+#[test]
+fn malformed_frames_never_hang_or_panic_the_blocking_path() {
+    run_corpus(false);
 }
