@@ -118,8 +118,11 @@ impl AutotuneCache {
     /// A cache persisted at `path`, warm-loaded from it when the file
     /// exists and its checksum validates. A missing or corrupt file yields
     /// an empty cache, never an error — serving must start regardless.
+    /// Stale `*.tmp.*` files from puts that crashed before their rename
+    /// are swept here.
     pub fn at_path(path: impl AsRef<Path>) -> Self {
         let path = path.as_ref().to_path_buf();
+        Self::sweep_stale_tmp(&path);
         let entries = Self::load(&path).unwrap_or_default();
         Self {
             entries: Mutex::new(entries),
@@ -201,17 +204,58 @@ impl AutotuneCache {
         // temp name embeds the generation, so even an out-of-band writer
         // (or a crashed run's leftover) can't be half-overwritten.
         let tmp = path.with_extension(format!("tmp.{gen}"));
-        {
+        let result = (|| {
             use std::io::Write as _;
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(json.as_bytes())?;
             // Durable before visible: rename must never expose a file
             // whose bytes could still be lost by a crash.
             f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if let Err(e) = result {
+            // Don't strand a generation-named temp file on failure.
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
         }
-        std::fs::rename(&tmp, path)?;
+        // The rename is visible now even if the directory fsync below
+        // fails, so record it before anything else can error — otherwise a
+        // writer with an older snapshot would pass the staleness check and
+        // rename over this newer file.
         *persisted = gen;
+        // The rename itself lives in the directory; fsync it so a crash
+        // can't roll the cache back to the previous generation.
+        std::fs::File::open(Self::parent_dir(path))?.sync_all()?;
         Ok(())
+    }
+
+    /// The directory holding `path`, with a bare filename mapping to `.`.
+    fn parent_dir(path: &Path) -> &Path {
+        match path.parent() {
+            Some(d) if !d.as_os_str().is_empty() => d,
+            _ => Path::new("."),
+        }
+    }
+
+    /// Removes `<stem>.tmp.*` leftovers from puts that died between
+    /// temp-file creation and rename.
+    fn sweep_stale_tmp(path: &Path) {
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            return;
+        };
+        let prefix = format!("{stem}.tmp.");
+        let Ok(dir) = std::fs::read_dir(Self::parent_dir(path)) else {
+            return;
+        };
+        for entry in dir.flatten() {
+            if entry
+                .file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix))
+            {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
     }
 }
 
@@ -285,6 +329,38 @@ mod tests {
         let reloaded = AutotuneCache::at_path(&path);
         assert!(reloaded.is_empty(), "tampered cache must not load");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept_on_load() {
+        let path = temp_path("sweep");
+        let stale = path.with_extension("tmp.3");
+        std::fs::write(&stale, "torn write from a crashed put").unwrap();
+        {
+            let cache = AutotuneCache::at_path(&path);
+            assert!(!stale.exists(), "startup must sweep crash leftovers");
+            cache.put(entry(4)).unwrap();
+        }
+        assert!(AutotuneCache::at_path(&path).get(&key(4)).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_put_leaves_no_tmp_file_behind() {
+        let path = temp_path("putfail");
+        // A directory at the cache path makes the rename step fail.
+        std::fs::create_dir(&path).unwrap();
+        let cache = AutotuneCache::in_memory();
+        let cache = AutotuneCache {
+            path: Some(path.clone()),
+            ..cache
+        };
+        assert!(cache.put(entry(5)).is_err());
+        assert!(
+            !path.with_extension("tmp.1").exists(),
+            "failed put must remove its temp file"
+        );
+        let _ = std::fs::remove_dir(&path);
     }
 
     #[test]

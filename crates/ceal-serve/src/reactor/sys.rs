@@ -36,15 +36,25 @@ const SO_RCVBUF: c_int = 8;
 
 const RLIMIT_NOFILE: c_int = 7;
 
-/// One epoll readiness record. x86-64 Linux declares the C struct packed,
-/// so the Rust mirror must be too; fields are only ever read by copy.
-#[repr(C, packed)]
+/// One epoll readiness record. The kernel packs `struct epoll_event`
+/// only on x86-64 (12 bytes); every other architecture uses natural
+/// alignment (16 bytes), so the Rust mirror's layout must match
+/// per-arch or `epoll_wait` would write 16-byte records into a
+/// 12-byte-stride buffer. Fields are only ever read by copy.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
 #[derive(Clone, Copy)]
 pub struct EpollEvent {
     pub events: u32,
     /// Caller-chosen cookie, echoed back on readiness.
     pub data: u64,
 }
+
+// Layout must match the kernel ABI exactly or epoll_wait corrupts the
+// event buffer: packed 12 bytes on x86-64, padded 16 everywhere else.
+const _: () = assert!(
+    std::mem::size_of::<EpollEvent>() == if cfg!(target_arch = "x86_64") { 12 } else { 16 }
+);
 
 #[repr(C)]
 struct RLimit {

@@ -69,7 +69,11 @@ impl<K> TimerWheel<K> {
     /// scale (see module docs).
     pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
         let earliest = self.slots.iter().flatten().map(|&(tick, _)| tick).min()?;
-        let due = self.start + self.tick * earliest as u32;
+        // Multiply in u64 nanoseconds: casting the tick index to u32 would
+        // wrap after ~3.4 years of 25 ms ticks and report past-due
+        // deadlines forever after.
+        let due = self.start
+            + Duration::from_nanos((self.tick.as_nanos() as u64).saturating_mul(earliest));
         Some(due.saturating_duration_since(now))
     }
 
@@ -148,6 +152,18 @@ mod tests {
         // Past-due deadlines report zero, not an underflow.
         let late = wheel.next_timeout(now + Duration::from_secs(1)).unwrap();
         assert_eq!(late, Duration::ZERO);
+    }
+
+    #[test]
+    fn next_timeout_survives_tick_indices_beyond_u32() {
+        // A deadline whose tick index exceeds u32::MAX (~497 days of 10 ms
+        // ticks) must not wrap into the past via a u32 cast.
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(TICK, 8);
+        let now = Instant::now();
+        let far = Duration::from_nanos(TICK.as_nanos() as u64 * (u64::from(u32::MAX) + 7));
+        wheel.schedule(now + far, 1);
+        let t = wheel.next_timeout(now).unwrap();
+        assert!(t > far - Duration::from_secs(1), "wrapped to {t:?}");
     }
 
     #[test]
