@@ -19,14 +19,28 @@
 //! a child process (`--server-only`) otherwise, so the serving process
 //! still holds one fd per open session even where the per-process fd cap
 //! cannot cover client *and* server sides at once.
+//!
+//! Fleet modes:
+//!
+//! * `--fleet [--out PATH]` — scatter/gather benchmark: runs one tuning
+//!   campaign against in-process fleets of 1, 2, and 4 workers, recording
+//!   per-round (one `Advance` = one scatter/gather round) latency and
+//!   aggregate measurement throughput under a `"fleet"` key merged into
+//!   `BENCH_serve.json` alongside the load numbers.
+//! * `--fleet-procs [--kill-one]` — process-level smoke test: spawns the
+//!   coordinator and two workers as child processes, runs a short
+//!   campaign, optionally SIGKILLs one worker mid-run, and exits non-zero
+//!   unless the campaign completes. CI runs this with `--kill-one`.
+//! * `--worker-only ADDR` — the worker child the smoke test spawns.
 
 use ceal_bench::report::print_table;
+use ceal_core::RetryPolicy;
 use ceal_serve::frame::{read_message, write_message};
-use ceal_serve::protocol::{Request, Response, PROTOCOL_VERSION};
-use ceal_serve::{ServeConfig, Server};
+use ceal_serve::protocol::{Request, Response, SessionStatus, PROTOCOL_VERSION};
+use ceal_serve::{run_worker, Client, ServeConfig, Server, TuneParams, WorkerConfig};
 use std::io::{BufRead, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -101,6 +115,19 @@ fn open_session(addr: &str) -> std::io::Result<TcpStream> {
     }
 }
 
+/// Reads `path` as a JSON object, or an empty one when the file is
+/// missing or not an object — scenarios merge their keys over this.
+fn read_json_object(path: &str) -> serde_json::Map<String, serde_json::Value> {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|v| match v {
+            serde_json::Value::Object(m) => Some(m),
+            _ => None,
+        })
+        .unwrap_or_default()
+}
+
 /// Sorted-latency percentile (nearest-rank on an already-sorted slice).
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -130,17 +157,282 @@ fn raise_fds(want: u64) -> u64 {
 
 /// `--server-only` mode: bind, announce the address on stdout, serve
 /// until a `Shutdown` request drains the loop.
-fn run_server_only(workers: usize) -> ! {
+fn run_server_only(workers: usize, lease: Option<Duration>) -> ! {
     raise_fds(u64::MAX / 2); // as many fds as the hard cap allows
-    let server = Server::bind(ServeConfig {
+    let mut config = ServeConfig {
         workers,
         idle_timeout: Duration::from_secs(3600),
         ..ServeConfig::default()
-    })
-    .expect("failed to bind server");
+    };
+    if let Some(lease) = lease {
+        config.worker_lease = lease;
+    }
+    let server = Server::bind(config).expect("failed to bind server");
     println!("ADDR {}", server.local_addr());
     std::io::stdout().flush().expect("stdout flush failed");
     server.run().expect("serve loop failed");
+    std::process::exit(0);
+}
+
+/// The campaign every fleet mode runs: big enough that refinement does a
+/// few scatter/gather rounds, small enough for CI.
+fn fleet_params(budget: u64) -> TuneParams {
+    TuneParams {
+        workflow: "LV".into(),
+        objective: "comp".into(),
+        budget,
+        pool: 200,
+        seed: 7,
+        algo: "ceal".into(),
+    }
+}
+
+/// Polls the metrics endpoint until `n` workers hold live leases.
+fn wait_for_live_workers(client: &mut Client, n: u64, deadline: Duration) {
+    let give_up = Instant::now() + deadline;
+    loop {
+        let live = client.metrics().expect("metrics").fleet.live_workers;
+        if live >= n {
+            return;
+        }
+        assert!(
+            Instant::now() < give_up,
+            "only {live}/{n} workers registered in {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Advances `session` to done in `chunk`-sized rounds, returning the final
+/// status and each round's latency in milliseconds.
+fn drive_campaign(client: &mut Client, session: u64, chunk: u64) -> (SessionStatus, Vec<f64>) {
+    let mut rounds_ms = Vec::new();
+    for _ in 0..1000 {
+        let t = Instant::now();
+        let st = client.advance(session, chunk).expect("advance");
+        rounds_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        if st.state == "done" {
+            return (st, rounds_ms);
+        }
+    }
+    panic!("campaign never reached done");
+}
+
+/// `--fleet`: one campaign per fleet size, workers in-process; merges a
+/// `"fleet"` section into the existing output JSON.
+fn run_fleet_bench(out: &str) -> ! {
+    const BUDGET: u64 = 40;
+    let mut sizes = serde_json::Map::new();
+    let mut table = Vec::new();
+    for n_workers in [1usize, 2, 4] {
+        let server = Server::bind(ServeConfig::default()).expect("failed to bind server");
+        let handle = server.spawn();
+        let addr = handle.addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..n_workers)
+            .map(|i| {
+                let stop = Arc::clone(&stop);
+                let cfg = WorkerConfig {
+                    coordinator: addr.to_string(),
+                    name: format!("bench-w{i}"),
+                    poll_interval: Duration::from_millis(2),
+                    retry: RetryPolicy::no_delay(3),
+                    stop: Some(stop),
+                };
+                std::thread::spawn(move || run_worker(cfg))
+            })
+            .collect();
+        let mut client = Client::connect(addr).expect("client connect");
+        wait_for_live_workers(&mut client, n_workers as u64, Duration::from_secs(10));
+
+        let (st, _) = client
+            .create_session(fleet_params(BUDGET), 0.0, 0)
+            .expect("create session");
+        let t0 = Instant::now();
+        let (done, mut rounds_ms) = drive_campaign(&mut client, st.session, 5);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(done.measured, BUDGET);
+        let m = client.metrics().expect("metrics");
+
+        stop.store(true, Ordering::Release);
+        for w in workers {
+            w.join()
+                .expect("worker thread panicked")
+                .expect("worker failed");
+        }
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server drain");
+
+        rounds_ms.sort_by(|a, b| a.total_cmp(b));
+        let p50 = percentile(&rounds_ms, 50.0);
+        let max = rounds_ms.last().copied().unwrap_or(f64::NAN);
+        let throughput = BUDGET as f64 / wall.max(1e-9);
+        table.push(vec![
+            format!("{n_workers}"),
+            format!("{}", rounds_ms.len()),
+            format!("{p50:.3}"),
+            format!("{max:.3}"),
+            format!("{throughput:.0}"),
+            format!("{}", m.fleet.tasks_completed),
+        ]);
+        sizes.insert(
+            format!("workers_{n_workers}"),
+            serde_json::json!({
+                "rounds": rounds_ms.len(),
+                "round_p50_ms": p50,
+                "round_max_ms": max,
+                "measurements_per_s": throughput,
+                "fleet_tasks_completed": m.fleet.tasks_completed,
+            }),
+        );
+    }
+    print_table(
+        "fleet scatter/gather",
+        &[
+            "workers",
+            "rounds",
+            "round p50 ms",
+            "round max ms",
+            "meas/s",
+            "fleet tasks",
+        ],
+        &table,
+    );
+
+    // Merge rather than overwrite: the load scenario owns the other keys.
+    let mut doc = read_json_object(out);
+    let sizes = serde_json::Value::from(sizes);
+    doc.insert(
+        "fleet".into(),
+        serde_json::json!({
+            "git_rev": git_rev(),
+            "budget": BUDGET,
+            "sizes": sizes,
+        }),
+    );
+    let doc = serde_json::Value::from(doc);
+    match std::fs::write(out, serde_json::to_string_pretty(&doc).unwrap()) {
+        Ok(()) => println!("\n  [saved {out}]"),
+        Err(e) => {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
+/// `--worker-only ADDR`: the worker child of the process-level smoke test.
+fn run_worker_only(addr: String) -> ! {
+    let cfg = WorkerConfig {
+        coordinator: addr,
+        name: format!("proc-worker-{}", std::process::id()),
+        poll_interval: Duration::from_millis(10),
+        ..WorkerConfig::default()
+    };
+    match run_worker(cfg) {
+        Ok(s) => {
+            println!("worker done: {} executed, {} failed", s.executed, s.failed);
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("worker lost its coordinator: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `--fleet-procs [--kill-one]`: coordinator + two workers as real child
+/// processes; optionally SIGKILL one worker mid-campaign and prove the
+/// campaign still completes with its exact oracle spend.
+fn run_fleet_procs(kill_one: bool) -> ! {
+    const BUDGET: u64 = 30;
+    let exe = std::env::current_exe().expect("cannot locate own executable");
+    let mut server = std::process::Command::new(&exe)
+        .args(["--server-only", "--workers", "4", "--lease-ms", "300"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("failed to spawn coordinator process");
+    let mut line = String::new();
+    std::io::BufReader::new(server.stdout.take().expect("coordinator stdout missing"))
+        .read_line(&mut line)
+        .expect("failed to read coordinator address");
+    let addr = line
+        .trim()
+        .strip_prefix("ADDR ")
+        .unwrap_or_else(|| panic!("unexpected coordinator banner: {line:?}"))
+        .to_string();
+    let mut victim = std::process::Command::new(&exe)
+        .args(["--worker-only", &addr])
+        .spawn()
+        .expect("failed to spawn worker 1");
+    let mut survivor = std::process::Command::new(&exe)
+        .args(["--worker-only", &addr])
+        .spawn()
+        .expect("failed to spawn worker 2");
+
+    let mut client = Client::connect(&addr as &str).expect("client connect");
+    wait_for_live_workers(&mut client, 2, Duration::from_secs(30));
+    let (st, _) = client
+        .create_session(fleet_params(BUDGET), 0.0, 0)
+        .expect("create session");
+    let session = st.session;
+    // History first, then measure until something has actually been
+    // scattered — that is the "mid-run" the kill should land in.
+    let mut status = client.advance(session, 5).expect("advance");
+    while status.measured == 0 {
+        status = client.advance(session, 5).expect("advance");
+    }
+    if kill_one {
+        victim.kill().expect("failed to kill worker 1");
+        victim.wait().expect("killed worker did not exit");
+        println!("killed worker 1 at {} measured", status.measured);
+        // Let the lease lapse so the loss is observed before the (fast)
+        // campaign drains the remaining budget.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while client.metrics().expect("metrics").fleet.live_workers != 1 {
+            assert!(Instant::now() < deadline, "killed worker was never reaped");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    while status.state != "done" {
+        status = client.advance(session, 5).expect("advance");
+    }
+    assert_eq!(status.measured, BUDGET, "campaign must complete");
+    let m = client.metrics().expect("metrics");
+    assert_eq!(
+        m.oracle_measurements,
+        status.history_samples + status.measured,
+        "every measurement billed exactly once, worker kill or not"
+    );
+    if kill_one {
+        assert_eq!(m.fleet.workers_lost, 1, "the kill must have been observed");
+    }
+    println!(
+        "fleet smoke ok: measured={} fleet_tasks={} rescattered={} workers_lost={}",
+        status.measured, m.fleet.tasks_completed, m.fleet.tasks_rescattered, m.fleet.workers_lost
+    );
+
+    client.shutdown().expect("shutdown");
+    let status = server.wait().expect("coordinator did not exit");
+    assert!(status.success(), "coordinator failed: {status}");
+    // The surviving worker notices the drain and exits on its own; killing
+    // it if it does not is teardown, not a verdict on the test.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match survivor.try_wait().expect("worker 2 wait failed") {
+            Some(_) => break,
+            None if Instant::now() >= deadline => {
+                survivor.kill().ok();
+                survivor.wait().ok();
+                break;
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    if !kill_one {
+        victim.kill().ok();
+        victim.wait().ok();
+    }
     std::process::exit(0);
 }
 
@@ -158,7 +450,25 @@ fn main() {
             .nth(1)
             .and_then(|v| v.parse().ok())
             .unwrap_or(4);
-        run_server_only(workers);
+        let lease = std::env::args()
+            .skip_while(|a| a != "--lease-ms")
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis);
+        run_server_only(workers, lease);
+    }
+    if let Some(addr) = std::env::args().skip_while(|a| a != "--worker-only").nth(1) {
+        run_worker_only(addr);
+    }
+    if std::env::args().any(|a| a == "--fleet-procs") {
+        run_fleet_procs(std::env::args().any(|a| a == "--kill-one"));
+    }
+    if std::env::args().any(|a| a == "--fleet") {
+        let out = std::env::args()
+            .skip_while(|a| a != "--out")
+            .nth(1)
+            .unwrap_or_else(|| "BENCH_serve.json".into());
+        run_fleet_bench(&out);
     }
     let args = parse_args();
 
@@ -339,6 +649,15 @@ fn main() {
         "p99_ms": p99,
         "p999_ms": p999,
     });
+    // Merge over any existing document so a prior `--fleet` section (or
+    // future sibling scenarios) survives a load re-run.
+    let mut doc = read_json_object(&args.out);
+    if let serde_json::Value::Object(load) = json {
+        for (k, v) in load {
+            doc.insert(k, v);
+        }
+    }
+    let json = serde_json::Value::from(doc);
     match std::fs::write(&args.out, serde_json::to_string_pretty(&json).unwrap()) {
         Ok(()) => println!("\n  [saved {}]", args.out),
         Err(e) => {

@@ -1,8 +1,9 @@
-//! `serve` — run the CEAL tuning service.
+//! `serve` — run the CEAL tuning service (coordinator or fleet worker).
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:7070] [--workers N] [--cache tuning-cache.json]
-//!       [--idle-secs N] [--journal-dir DIR]
+//!       [--idle-secs N] [--journal-dir DIR] [--lease-ms N]
+//! serve --worker COORDINATOR_ADDR [--name NAME]
 //! ```
 //!
 //! Serves until a client sends a `Shutdown` request, then drains in-flight
@@ -10,16 +11,42 @@
 //! With `--journal-dir`, every live session keeps a write-ahead journal
 //! there, and sessions that were live when the server died are rebuilt
 //! from their journals at the next start.
+//!
+//! With `--worker ADDR` the process is a fleet measurement worker instead:
+//! it registers with the coordinator at `ADDR`, heartbeats, and executes
+//! scattered measurement tasks until the coordinator drains.
 
-use ceal_serve::{ServeConfig, Server};
+use ceal_serve::{run_worker, ServeConfig, Server, WorkerConfig};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache file.json] [--idle-secs N] \
-         [--journal-dir DIR]"
+         [--journal-dir DIR] [--lease-ms N]\n       serve --worker COORDINATOR_ADDR [--name NAME]"
     );
     std::process::exit(2);
+}
+
+fn worker_main(coordinator: String, name: Option<String>) -> ! {
+    let cfg = WorkerConfig {
+        coordinator,
+        name: name.unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        ..WorkerConfig::default()
+    };
+    println!("ceal-worker '{}' polling {}", cfg.name, cfg.coordinator);
+    match run_worker(cfg) {
+        Ok(summary) => {
+            println!(
+                "ceal-worker done: {} executed, {} failed",
+                summary.executed, summary.failed
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("ceal-worker lost its coordinator: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -27,6 +54,8 @@ fn main() {
         addr: "127.0.0.1:7070".into(),
         ..ServeConfig::default()
     };
+    let mut worker_addr: Option<String> = None;
+    let mut worker_name: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = || it.next().unwrap_or_else(|| usage());
@@ -38,8 +67,17 @@ fn main() {
             "--idle-secs" => {
                 config.idle_timeout = Duration::from_secs(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--lease-ms" => {
+                config.worker_lease =
+                    Duration::from_millis(val().parse().unwrap_or_else(|_| usage()))
+            }
+            "--worker" => worker_addr = Some(val()),
+            "--name" => worker_name = Some(val()),
             _ => usage(),
         }
+    }
+    if let Some(coordinator) = worker_addr {
+        worker_main(coordinator, worker_name);
     }
 
     let server = Server::bind(config).unwrap_or_else(|e| {

@@ -1,0 +1,57 @@
+//! `worker` — a standalone fleet measurement worker.
+//!
+//! ```text
+//! worker COORDINATOR_ADDR [--name NAME] [--poll-ms N]
+//! ```
+//!
+//! Equivalent to `serve --worker COORDINATOR_ADDR`, as its own binary for
+//! quickstarts and process supervisors: registers with the coordinator,
+//! heartbeats, executes scattered measurement tasks, and exits cleanly
+//! when the coordinator drains.
+
+use ceal_serve::{run_worker, WorkerConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: worker COORDINATOR_ADDR [--name NAME] [--poll-ms N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = WorkerConfig {
+        name: format!("worker-{}", std::process::id()),
+        ..WorkerConfig::default()
+    };
+    let mut coordinator: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--name" => cfg.name = val(),
+            "--poll-ms" => {
+                cfg.poll_interval = Duration::from_millis(val().parse().unwrap_or_else(|_| usage()))
+            }
+            flag if flag.starts_with("--") => usage(),
+            addr => {
+                if coordinator.replace(addr.to_string()).is_some() {
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(coordinator) = coordinator else {
+        usage();
+    };
+    cfg.coordinator = coordinator;
+    println!("ceal-worker '{}' polling {}", cfg.name, cfg.coordinator);
+    match run_worker(cfg) {
+        Ok(summary) => println!(
+            "ceal-worker done: {} executed, {} failed",
+            summary.executed, summary.failed
+        ),
+        Err(e) => {
+            eprintln!("ceal-worker lost its coordinator: {e}");
+            std::process::exit(1);
+        }
+    }
+}

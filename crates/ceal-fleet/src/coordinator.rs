@@ -1,0 +1,661 @@
+//! The coordinator: worker registry, heartbeat leases, and the
+//! scatter/gather measurement scheduler.
+//!
+//! One [`Coordinator`] lives inside the serve process. Request handlers
+//! call [`Coordinator::register`] and [`Coordinator::poll`] on behalf of
+//! worker connections; session code calls [`Coordinator::scatter`] /
+//! [`Coordinator::gather`] to fan a measurement batch out and block until
+//! it is answered. All state sits behind one mutex with a condvar for
+//! gather waiters — scheduling work is tiny compared to measurements, so
+//! contention is not a concern, and a single lock makes the
+//! re-scatter/dedup invariants easy to audit.
+
+use crate::types::{FleetReport, TaskId, TaskOutcome, TaskReport, TaskSpec, WorkerId, WorkerStats};
+use ceal_core::RetryPolicy;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// A worker silent for longer than this is dead: its lease has
+    /// expired and its in-flight tasks are re-scattered.
+    pub lease: Duration,
+    /// Most tasks handed out per poll. Small values spread a batch across
+    /// the fleet; large ones amortize polling on big batches.
+    pub tasks_per_poll: usize,
+    /// Attempt budget per task across re-scatters, shared vocabulary with
+    /// every other retry site in the workspace. A task that has been
+    /// scattered `max_attempts` times and still has no result is handed
+    /// back to the caller as unmeasured instead of looping forever.
+    pub rescatter: RetryPolicy,
+    /// How long [`Coordinator::gather`] waits for a batch before handing
+    /// the stragglers back for local fallback.
+    pub gather_deadline: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            lease: Duration::from_millis(1500),
+            tasks_per_poll: 4,
+            rescatter: RetryPolicy::no_delay(3),
+            gather_deadline: Duration::from_secs(15),
+        }
+    }
+}
+
+/// Why a worker call was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The worker id is not registered (coordinator restarted, or the
+    /// lease expired and the registry was compacted). The worker should
+    /// re-register.
+    UnknownWorker(WorkerId),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownWorker(id) => write!(f, "unknown worker {id} (re-register)"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// What a gather produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatherOutcome {
+    /// Applied results, keyed by the batch's config index. At most one
+    /// entry per index, whatever the workers raced to.
+    pub results: Vec<(u64, TaskOutcome)>,
+    /// `(config_index, config)` pairs the fleet could not answer — no
+    /// live workers, attempts exhausted, or the deadline passed. The
+    /// caller measures these locally.
+    pub unmeasured: Vec<(u64, Vec<i64>)>,
+}
+
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    dispatched: u64,
+    completed: u64,
+    failed: u64,
+    rescattered: u64,
+}
+
+struct WorkerState {
+    name: String,
+    last_seen: Instant,
+    live: bool,
+    stats: WorkerCounters,
+}
+
+struct QueuedTask {
+    spec: TaskSpec,
+    /// Times this task has been handed to a worker.
+    attempts: u32,
+}
+
+struct InFlight {
+    spec: TaskSpec,
+    attempts: u32,
+    worker: WorkerId,
+}
+
+struct Batch {
+    /// Tasks still unresolved (queued or in flight).
+    pending: u64,
+    /// Resolved results by config index.
+    results: HashMap<u64, TaskOutcome>,
+    /// Tasks given up on, for the caller's local fallback.
+    unmeasured: Vec<(u64, Vec<i64>)>,
+}
+
+#[derive(Default)]
+struct Counters {
+    workers_registered: u64,
+    workers_lost: u64,
+    tasks_dispatched: u64,
+    tasks_completed: u64,
+    tasks_failed: u64,
+    tasks_rescattered: u64,
+    duplicate_results: u64,
+}
+
+struct State {
+    workers: HashMap<WorkerId, WorkerState>,
+    /// Registration order, for stable metrics output.
+    worker_order: Vec<WorkerId>,
+    queue: VecDeque<QueuedTask>,
+    in_flight: HashMap<TaskId, InFlight>,
+    batches: HashMap<u64, Batch>,
+    task_batch: HashMap<TaskId, u64>,
+    next_worker: WorkerId,
+    next_task: TaskId,
+    next_batch: u64,
+    counters: Counters,
+}
+
+/// The fleet coordinator. See the [module docs](self).
+pub struct Coordinator {
+    cfg: FleetConfig,
+    state: Mutex<State>,
+    /// Signalled whenever a batch makes progress (result applied, task
+    /// abandoned, worker reaped) so gathers re-check their batch.
+    progress: Condvar,
+}
+
+impl Coordinator {
+    /// Creates an empty fleet under `cfg`.
+    pub fn new(cfg: FleetConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(State {
+                workers: HashMap::new(),
+                worker_order: Vec::new(),
+                queue: VecDeque::new(),
+                in_flight: HashMap::new(),
+                batches: HashMap::new(),
+                task_batch: HashMap::new(),
+                next_worker: 1,
+                next_task: 1,
+                next_batch: 1,
+                counters: Counters::default(),
+            }),
+            progress: Condvar::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Registers a worker; returns its id and the heartbeat lease in
+    /// milliseconds (the worker must poll well within it).
+    pub fn register(&self, name: &str) -> (WorkerId, u64) {
+        let mut s = self.state.lock();
+        let id = s.next_worker;
+        s.next_worker += 1;
+        s.workers.insert(
+            id,
+            WorkerState {
+                name: name.to_string(),
+                last_seen: Instant::now(),
+                live: true,
+                stats: WorkerCounters::default(),
+            },
+        );
+        s.worker_order.push(id);
+        s.counters.workers_registered += 1;
+        (id, self.cfg.lease.as_millis() as u64)
+    }
+
+    /// One worker poll: renews the lease, ingests `reports`, and hands
+    /// back up to [`FleetConfig::tasks_per_poll`] queued tasks.
+    pub fn poll(
+        &self,
+        worker: WorkerId,
+        reports: Vec<TaskReport>,
+    ) -> Result<Vec<TaskSpec>, FleetError> {
+        let mut s = self.state.lock();
+        self.reap_dead(&mut s);
+        let now = Instant::now();
+        {
+            let w = s
+                .workers
+                .get_mut(&worker)
+                .ok_or(FleetError::UnknownWorker(worker))?;
+            w.last_seen = now;
+            // A worker back from a lease expiry (a long GC pause, a
+            // network blip) resumes where it was; its re-scattered tasks
+            // resolve through dedup.
+            w.live = true;
+        }
+        let mut progressed = false;
+        for report in reports {
+            progressed |= self.apply_report(&mut s, worker, report);
+        }
+        // Hand out work.
+        let mut assigned = Vec::new();
+        while assigned.len() < self.cfg.tasks_per_poll {
+            let Some(mut task) = s.queue.pop_front() else {
+                break;
+            };
+            task.attempts += 1;
+            s.counters.tasks_dispatched += 1;
+            if let Some(w) = s.workers.get_mut(&worker) {
+                w.stats.dispatched += 1;
+            }
+            s.in_flight.insert(
+                task.spec.task,
+                InFlight {
+                    spec: task.spec.clone(),
+                    attempts: task.attempts,
+                    worker,
+                },
+            );
+            assigned.push(task.spec);
+        }
+        drop(s);
+        if progressed {
+            self.progress.notify_all();
+        }
+        Ok(assigned)
+    }
+
+    /// Applies one task report; returns whether a batch progressed.
+    fn apply_report(&self, s: &mut State, worker: WorkerId, report: TaskReport) -> bool {
+        // Resolve the task wherever it currently lives: in flight (the
+        // common case — possibly at a *different* worker if this one's
+        // lease briefly expired and the task was re-scattered), or back
+        // on the queue awaiting that re-scatter.
+        let spec = if let Some(t) = s.in_flight.remove(&report.task) {
+            Some(t.spec)
+        } else if let Some(pos) = s.queue.iter().position(|q| q.spec.task == report.task) {
+            s.queue.remove(pos).map(|q| q.spec)
+        } else {
+            None
+        };
+        let batch_id = spec
+            .as_ref()
+            .and_then(|_| s.task_batch.remove(&report.task));
+        let (Some(spec), Some(batch_id)) = (spec, batch_id) else {
+            // Already resolved (a re-scatter raced us) or the batch is
+            // gone (gather gave up) — either way, drop it. This is the
+            // dedup that keeps a measurement from ever landing twice.
+            s.counters.duplicate_results += 1;
+            return false;
+        };
+        let failed = matches!(report.outcome, TaskOutcome::Failed { .. });
+        s.counters.tasks_completed += 1;
+        if failed {
+            s.counters.tasks_failed += 1;
+        }
+        if let Some(w) = s.workers.get_mut(&worker) {
+            w.stats.completed += 1;
+            if failed {
+                w.stats.failed += 1;
+            }
+        }
+        let Some(batch) = s.batches.get_mut(&batch_id) else {
+            s.counters.duplicate_results += 1;
+            return false;
+        };
+        batch.results.insert(spec.config_index, report.outcome);
+        batch.pending = batch.pending.saturating_sub(1);
+        true
+    }
+
+    /// Scatters one batch of `(config_index, config)` tasks for
+    /// `session`; returns the batch handle for [`Coordinator::gather`].
+    pub fn scatter(
+        &self,
+        session: u64,
+        configs: &[(u64, Vec<i64>)],
+        workflow: &str,
+        objective: &str,
+        oracle_seed: u64,
+    ) -> u64 {
+        let mut s = self.state.lock();
+        let batch_id = s.next_batch;
+        s.next_batch += 1;
+        s.batches.insert(
+            batch_id,
+            Batch {
+                pending: configs.len() as u64,
+                results: HashMap::new(),
+                unmeasured: Vec::new(),
+            },
+        );
+        for (config_index, config) in configs {
+            let task = s.next_task;
+            s.next_task += 1;
+            s.task_batch.insert(task, batch_id);
+            s.queue.push_back(QueuedTask {
+                spec: TaskSpec {
+                    task,
+                    session,
+                    config_index: *config_index,
+                    config: config.clone(),
+                    workflow: workflow.to_string(),
+                    objective: objective.to_string(),
+                    oracle_seed,
+                },
+                attempts: 0,
+            });
+        }
+        batch_id
+    }
+
+    /// Blocks until every task of `batch` is resolved (answered or given
+    /// up on), the fleet goes empty with the batch unplaceable, or the
+    /// configured gather deadline passes. Always consumes the batch.
+    pub fn gather(&self, batch: u64) -> GatherOutcome {
+        let deadline = Instant::now() + self.cfg.gather_deadline;
+        let mut s = self.state.lock();
+        loop {
+            self.reap_dead(&mut s);
+            let done = s
+                .batches
+                .get(&batch)
+                .map(|b| b.pending == 0)
+                .unwrap_or(true);
+            let no_workers = !s.workers.values().any(|w| w.live);
+            if done || no_workers || Instant::now() >= deadline {
+                // Pull whatever is still unresolved back out of the
+                // scheduler: those configs are the caller's to measure.
+                let mut b = s.batches.remove(&batch).unwrap_or(Batch {
+                    pending: 0,
+                    results: HashMap::new(),
+                    unmeasured: Vec::new(),
+                });
+                if b.pending > 0 {
+                    Self::abandon_batch(&mut s, batch, &mut b);
+                }
+                let mut results: Vec<(u64, TaskOutcome)> = b.results.into_iter().collect();
+                results.sort_by_key(|&(i, _)| i);
+                b.unmeasured.sort_by_key(|&(i, _)| i);
+                return GatherOutcome {
+                    results,
+                    unmeasured: b.unmeasured,
+                };
+            }
+            // Wake on progress, or after a slice to re-check leases.
+            let slice = self
+                .cfg
+                .lease
+                .min(Duration::from_millis(50))
+                .max(Duration::from_millis(5));
+            self.progress.wait_for(&mut s, slice);
+        }
+    }
+
+    /// Moves every unresolved task of `batch` into its unmeasured list.
+    fn abandon_batch(s: &mut State, batch: u64, b: &mut Batch) {
+        let mut orphaned: Vec<TaskId> = Vec::new();
+        for (task, owner) in s.task_batch.iter() {
+            if *owner == batch {
+                orphaned.push(*task);
+            }
+        }
+        for task in orphaned {
+            s.task_batch.remove(&task);
+            if let Some(t) = s.in_flight.remove(&task) {
+                b.unmeasured.push((t.spec.config_index, t.spec.config));
+            } else if let Some(pos) = s.queue.iter().position(|q| q.spec.task == task) {
+                let q = s.queue.remove(pos).expect("position just found");
+                b.unmeasured.push((q.spec.config_index, q.spec.config));
+            }
+            // A task in neither place is mid-report on another thread; it
+            // resolves as a duplicate once we return.
+            b.pending = b.pending.saturating_sub(1);
+        }
+    }
+
+    /// Expires leases: dead workers' in-flight tasks go back on the queue
+    /// (or to their batch's unmeasured list once out of attempts).
+    fn reap_dead(&self, s: &mut State) {
+        let lease = self.cfg.lease;
+        let mut dead: Vec<WorkerId> = Vec::new();
+        for (id, w) in s.workers.iter_mut() {
+            if w.live && w.last_seen.elapsed() > lease {
+                w.live = false;
+                dead.push(*id);
+            }
+        }
+        if dead.is_empty() {
+            return;
+        }
+        s.counters.workers_lost += dead.len() as u64;
+        let max_attempts = self.cfg.rescatter.max_attempts.max(1);
+        let orphaned: Vec<TaskId> = s
+            .in_flight
+            .iter()
+            .filter(|(_, t)| dead.contains(&t.worker))
+            .map(|(id, _)| *id)
+            .collect();
+        for task in orphaned {
+            let t = s.in_flight.remove(&task).expect("id just listed");
+            if let Some(w) = s.workers.get_mut(&t.worker) {
+                w.stats.rescattered += 1;
+            }
+            if t.attempts < max_attempts {
+                s.counters.tasks_rescattered += 1;
+                s.queue.push_back(QueuedTask {
+                    spec: t.spec,
+                    attempts: t.attempts,
+                });
+            } else if let Some(batch_id) = s.task_batch.remove(&task) {
+                if let Some(b) = s.batches.get_mut(&batch_id) {
+                    b.unmeasured.push((t.spec.config_index, t.spec.config));
+                    b.pending = b.pending.saturating_sub(1);
+                }
+            }
+        }
+        self.progress.notify_all();
+    }
+
+    /// Workers with a current lease.
+    pub fn live_workers(&self) -> usize {
+        let mut s = self.state.lock();
+        self.reap_dead(&mut s);
+        s.workers.values().filter(|w| w.live).count()
+    }
+
+    /// Snapshot for the metrics endpoint.
+    pub fn report(&self) -> FleetReport {
+        let mut s = self.state.lock();
+        self.reap_dead(&mut s);
+        let workers: Vec<WorkerStats> = s
+            .worker_order
+            .iter()
+            .filter_map(|id| {
+                s.workers.get(id).map(|w| WorkerStats {
+                    worker: *id,
+                    name: w.name.clone(),
+                    live: w.live,
+                    dispatched: w.stats.dispatched,
+                    completed: w.stats.completed,
+                    failed: w.stats.failed,
+                    rescattered: w.stats.rescattered,
+                    heartbeat_lag_ms: w.last_seen.elapsed().as_millis() as u64,
+                })
+            })
+            .collect();
+        FleetReport {
+            live_workers: workers.iter().filter(|w| w.live).count() as u64,
+            workers_registered: s.counters.workers_registered,
+            workers_lost: s.counters.workers_lost,
+            tasks_dispatched: s.counters.tasks_dispatched,
+            tasks_completed: s.counters.tasks_completed,
+            tasks_failed: s.counters.tasks_failed,
+            tasks_rescattered: s.counters.tasks_rescattered,
+            duplicate_results: s.counters.duplicate_results,
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(lease_ms: u64) -> FleetConfig {
+        FleetConfig {
+            lease: Duration::from_millis(lease_ms),
+            tasks_per_poll: 1,
+            rescatter: RetryPolicy::no_delay(3),
+            gather_deadline: Duration::from_secs(5),
+        }
+    }
+
+    fn measured(task: TaskId, value: f64) -> TaskReport {
+        TaskReport {
+            task,
+            outcome: TaskOutcome::Measured {
+                value,
+                exec_time: value * 2.0,
+                computer_time: value / 2.0,
+            },
+        }
+    }
+
+    fn configs(n: u64) -> Vec<(u64, Vec<i64>)> {
+        (0..n).map(|i| (i, vec![i as i64, 1])).collect()
+    }
+
+    #[test]
+    fn batch_spreads_across_workers_and_gathers_in_index_order() {
+        let c = Coordinator::new(cfg(60_000));
+        let (a, lease_ms) = c.register("a");
+        let (b, _) = c.register("b");
+        assert!(lease_ms > 0);
+        assert_eq!(c.live_workers(), 2);
+
+        let batch = c.scatter(1, &configs(4), "LV", "exec", 2021);
+        // tasks_per_poll = 1 → strict alternation as the workers poll.
+        let ta = c.poll(a, vec![]).unwrap();
+        let tb = c.poll(b, vec![]).unwrap();
+        assert_eq!(ta.len(), 1);
+        assert_eq!(tb.len(), 1);
+        assert_ne!(ta[0].config_index, tb[0].config_index);
+        // Results ride on the next poll; remaining tasks come back with it.
+        let ta2 = c.poll(a, vec![measured(ta[0].task, 1.0)]).unwrap();
+        let tb2 = c.poll(b, vec![measured(tb[0].task, 2.0)]).unwrap();
+        c.poll(a, vec![measured(ta2[0].task, 3.0)]).unwrap();
+        c.poll(b, vec![measured(tb2[0].task, 4.0)]).unwrap();
+
+        let out = c.gather(batch);
+        assert!(out.unmeasured.is_empty());
+        let indices: Vec<u64> = out.results.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        let report = c.report();
+        assert_eq!(report.tasks_completed, 4);
+        assert_eq!(report.tasks_dispatched, 4);
+        assert_eq!(report.workers.len(), 2);
+        assert_eq!(report.workers[0].completed + report.workers[1].completed, 4);
+    }
+
+    #[test]
+    fn dead_worker_tasks_are_rescattered_to_the_survivor() {
+        let c = Coordinator::new(cfg(30));
+        let (a, _) = c.register("doomed");
+        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021);
+        let ta = c.poll(a, vec![]).unwrap();
+        assert_eq!(ta.len(), 1);
+
+        // `a` goes silent past its lease; `b` arrives and inherits.
+        std::thread::sleep(Duration::from_millis(60));
+        let (b, _) = c.register("survivor");
+        let tb = c.poll(b, vec![]).unwrap();
+        assert_eq!(tb.len(), 1, "the orphaned task must be re-scattered");
+        assert_eq!(tb[0].task, ta[0].task);
+        c.poll(b, vec![measured(tb[0].task, 9.0)]).unwrap();
+
+        let out = c.gather(batch);
+        assert_eq!(out.results.len(), 1);
+        assert!(out.unmeasured.is_empty());
+        let report = c.report();
+        assert_eq!(report.workers_lost, 1);
+        assert_eq!(report.tasks_rescattered, 1);
+        assert_eq!(report.live_workers, 1);
+    }
+
+    #[test]
+    fn raced_duplicate_result_is_dropped_not_applied() {
+        let c = Coordinator::new(cfg(30));
+        let (a, _) = c.register("slow");
+        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021);
+        let ta = c.poll(a, vec![]).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        let (b, _) = c.register("fast");
+        let tb = c.poll(b, vec![]).unwrap();
+        assert_eq!(tb[0].task, ta[0].task);
+        // The replacement answers first; the presumed-dead original then
+        // wakes up and answers the same task.
+        c.poll(b, vec![measured(tb[0].task, 1.0)]).unwrap();
+        c.poll(a, vec![measured(ta[0].task, 1.0)]).unwrap();
+
+        let out = c.gather(batch);
+        assert_eq!(out.results.len(), 1, "dedup keeps exactly one result");
+        assert_eq!(c.report().duplicate_results, 1);
+    }
+
+    #[test]
+    fn gather_with_no_workers_hands_everything_back() {
+        let c = Coordinator::new(cfg(60_000));
+        let batch = c.scatter(1, &configs(3), "LV", "exec", 2021);
+        let start = Instant::now();
+        let out = c.gather(batch);
+        assert!(out.results.is_empty());
+        assert_eq!(out.unmeasured.len(), 3);
+        assert_eq!(out.unmeasured[0].0, 0);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "an unplaceable batch must not wait for the deadline"
+        );
+    }
+
+    #[test]
+    fn attempts_exhausted_task_comes_back_unmeasured() {
+        let c = Coordinator::new(FleetConfig {
+            rescatter: RetryPolicy::no_delay(1),
+            ..cfg(20)
+        });
+        let (a, _) = c.register("one-shot");
+        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021);
+        let ta = c.poll(a, vec![]).unwrap();
+        assert_eq!(ta.len(), 1);
+        std::thread::sleep(Duration::from_millis(50));
+        // Reap runs inside gather; with the single attempt spent, the
+        // task must not be re-queued for the (dead) fleet.
+        let out = c.gather(batch);
+        assert!(out.results.is_empty());
+        assert_eq!(out.unmeasured.len(), 1);
+        assert_eq!(c.report().tasks_rescattered, 0);
+    }
+
+    #[test]
+    fn gather_deadline_returns_stragglers_for_local_fallback() {
+        let c = Coordinator::new(FleetConfig {
+            gather_deadline: Duration::from_millis(40),
+            ..cfg(60_000)
+        });
+        let (a, _) = c.register("hoarder");
+        let batch = c.scatter(1, &configs(2), "LV", "exec", 2021);
+        let ta = c.poll(a, vec![]).unwrap();
+        // Reporting the first result picks up the second task, which the
+        // live-but-stuck worker then holds past the gather deadline.
+        let held = c.poll(a, vec![measured(ta[0].task, 1.0)]).unwrap();
+        assert_eq!(held.len(), 1);
+        let out = c.gather(batch);
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.unmeasured.len(), 1);
+        // The stuck worker's eventual report resolves as a duplicate.
+        c.poll(a, vec![measured(held[0].task, 2.0)]).unwrap();
+        assert_eq!(c.report().duplicate_results, 1);
+    }
+
+    #[test]
+    fn unknown_worker_is_told_to_reregister() {
+        let c = Coordinator::new(cfg(60_000));
+        assert_eq!(
+            c.poll(99, vec![]).unwrap_err(),
+            FleetError::UnknownWorker(99)
+        );
+    }
+
+    #[test]
+    fn lease_revival_resumes_a_marked_dead_worker() {
+        let c = Coordinator::new(cfg(30));
+        let (a, _) = c.register("laggy");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(c.live_workers(), 0);
+        // A late poll renews the lease rather than erroring.
+        assert!(c.poll(a, vec![]).unwrap().is_empty());
+        assert_eq!(c.live_workers(), 1);
+    }
+}

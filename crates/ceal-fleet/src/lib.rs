@@ -1,0 +1,43 @@
+//! ceal-fleet — the coordinator side of a distributed tuning fleet.
+//!
+//! The paper's dominant cost is measurement: every tuning round pays the
+//! oracle for a batch of candidate configurations. A single `ceal-serve`
+//! process caps that at one machine's worth of throughput; this crate
+//! supplies the coordinator-side machinery to farm measurement batches out
+//! to a fleet of workers instead, in the spirit of Collective Knowledge's
+//! crowd-tuning (experiments scattered across volunteer machines) and the
+//! shape of workflow engines built around worker registration, heartbeats,
+//! and crash-recoverable task scheduling.
+//!
+//! The crate is deliberately **transport-free**: it knows nothing about
+//! sockets or frames. `ceal-serve` embeds a [`Coordinator`] and translates
+//! fleet wire frames (`RegisterWorker`, `Heartbeat`, `TaskResult` →
+//! `TaskAssign`) into calls on it, which keeps every scheduling decision
+//! unit-testable without a single connection.
+//!
+//! ## Model
+//!
+//! * **Workers pull.** A worker registers, then polls on a heartbeat
+//!   cadence; each poll delivers finished results and picks up new tasks.
+//!   Pulling keeps the wire protocol strictly request/response (the serve
+//!   core never pushes unsolicited frames) and makes a slow worker
+//!   self-limiting — it simply fetches less.
+//! * **Leases, not connections, define liveness.** A worker that misses
+//!   its heartbeat lease is marked dead and its in-flight tasks go back on
+//!   the queue (a *re-scatter*), bounded per task by the unified
+//!   [`RetryPolicy`][ceal_core::RetryPolicy]'s attempt budget.
+//! * **Gather is deduplicating.** Results are keyed by the batch's config
+//!   index; a re-scattered task finished by both the presumed-dead worker
+//!   and its replacement lands once and is counted as a duplicate, never
+//!   applied twice — the caller's journal sees exactly one record per
+//!   measurement.
+//! * **The caller always has a fallback.** [`Coordinator::gather`] returns
+//!   the tasks it could not place (no live workers, attempts exhausted,
+//!   deadline) as *unmeasured* so the session can measure them locally;
+//!   the oracle is deterministic, so the fallback is bit-identical.
+
+pub mod coordinator;
+pub mod types;
+
+pub use coordinator::{Coordinator, FleetConfig, FleetError, GatherOutcome};
+pub use types::{FleetReport, TaskId, TaskOutcome, TaskReport, TaskSpec, WorkerId, WorkerStats};

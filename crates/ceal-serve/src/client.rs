@@ -352,6 +352,39 @@ impl Client {
         }
     }
 
+    /// Registers this connection's owner as a fleet measurement worker;
+    /// returns `(worker_id, lease_ms)`.
+    pub fn register_worker(&mut self, name: &str) -> Result<(u64, u64), ClientError> {
+        let req = Request::RegisterWorker {
+            name: name.to_string(),
+        };
+        match self.request(&req)? {
+            Response::WorkerRegistered { worker, lease_ms } => Ok((worker, lease_ms)),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Renews the worker's lease and fetches newly assigned tasks.
+    pub fn heartbeat(&mut self, worker: u64) -> Result<Vec<ceal_fleet::TaskSpec>, ClientError> {
+        match self.request(&Request::Heartbeat { worker })? {
+            Response::TaskAssign { tasks } => Ok(tasks),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Delivers completed task results; like [`Client::heartbeat`], the
+    /// answer carries the worker's next tasks.
+    pub fn task_result(
+        &mut self,
+        worker: u64,
+        results: Vec<ceal_fleet::TaskReport>,
+    ) -> Result<Vec<ceal_fleet::TaskSpec>, ClientError> {
+        match self.request(&Request::TaskResult { worker, results })? {
+            Response::TaskAssign { tasks } => Ok(tasks),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
     /// Asks the server to drain and exit its serve loop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.request(&Request::Shutdown)? {

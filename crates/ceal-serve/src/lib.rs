@@ -44,13 +44,16 @@
 
 pub mod cache;
 pub mod client;
-pub mod frame;
 pub mod metrics;
-pub mod protocol;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod server;
 pub mod session;
+pub mod wire;
+pub mod worker;
+
+pub use wire::frame;
+pub use wire::protocol;
 
 pub use cache::{platform_fingerprint, AutotuneCache, CacheEntry, CacheKey};
 pub use client::{Client, ClientError, TuneOutcome};
@@ -65,3 +68,4 @@ pub use protocol::{
 pub use reactor::sys::{raise_nofile_limit, set_recv_buffer_fd, set_send_buffer_fd};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use session::{ServeError, Session, SessionManager};
+pub use worker::{run_worker, WorkerConfig, WorkerSummary};

@@ -14,7 +14,7 @@ use std::time::Duration;
 const BUCKET_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
 
 /// Endpoint names, indexed by [`Endpoint`]'s discriminant.
-const ENDPOINT_NAMES: [&str; 10] = [
+const ENDPOINT_NAMES: [&str; 13] = [
     "ping",
     "tune",
     "create-session",
@@ -25,6 +25,9 @@ const ENDPOINT_NAMES: [&str; 10] = [
     "push-history",
     "close-session",
     "metrics",
+    "register-worker",
+    "heartbeat",
+    "task-result",
 ];
 
 /// The service's endpoints, for metrics attribution.
@@ -50,6 +53,12 @@ pub enum Endpoint {
     CloseSession = 8,
     /// `Metrics`.
     Metrics = 9,
+    /// `RegisterWorker`.
+    RegisterWorker = 10,
+    /// `Heartbeat`.
+    Heartbeat = 11,
+    /// `TaskResult`.
+    TaskResult = 12,
 }
 
 #[derive(Default)]
@@ -63,7 +72,7 @@ struct EndpointCounters {
 /// All service counters; shared across workers via `Arc`.
 #[derive(Default)]
 pub struct ServerMetrics {
-    endpoints: [EndpointCounters; 10],
+    endpoints: [EndpointCounters; 13],
     /// Oracle measurements spent (coupled + solo), across all requests.
     pub oracle_measurements: AtomicU64,
     /// Requests answered from the persistent cache.
@@ -106,7 +115,8 @@ impl ServerMetrics {
     }
 
     /// Snapshots every counter into the wire representation. Endpoints
-    /// with no traffic are omitted.
+    /// with no traffic are omitted. The `fleet` section starts empty; the
+    /// server overlays the coordinator's [`ceal_fleet::FleetReport`].
     pub fn report(&self, active_sessions: u64) -> MetricsReport {
         let endpoints = self
             .endpoints
@@ -134,6 +144,7 @@ impl ServerMetrics {
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
             sessions_rebuilt: self.sessions_rebuilt.load(Ordering::Relaxed),
             active_sessions,
+            fleet: ceal_fleet::FleetReport::default(),
         }
     }
 }

@@ -64,6 +64,10 @@ pub struct ServeConfig {
     /// keeps the kernel default. Small values are mainly useful in tests
     /// that need to fill the send buffer quickly.
     pub send_buffer: Option<usize>,
+    /// Measurement-fleet worker lease: a registered worker silent for
+    /// longer than this is marked dead and its in-flight tasks are
+    /// re-scattered to the survivors.
+    pub worker_lease: Duration,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +81,7 @@ impl Default for ServeConfig {
             stall_deadline: MAX_MID_FRAME_STALL,
             event_loop: true,
             send_buffer: None,
+            worker_lease: Duration::from_millis(1500),
         }
     }
 }
@@ -97,6 +102,9 @@ pub(crate) struct ServerInner {
     pub(crate) evict_cadence: Duration,
     /// Optional `SO_SNDBUF` for accepted connections (reactor path).
     pub(crate) send_buffer: Option<usize>,
+    /// Measurement-fleet coordinator: worker registry plus the
+    /// scatter/gather scheduler batched `Advance` measurements go through.
+    pub(crate) fleet: ceal_fleet::Coordinator,
 }
 
 /// The loopback address a server can reach itself at: wildcard binds
@@ -154,6 +162,10 @@ impl Server {
                 stall_deadline: config.stall_deadline,
                 evict_cadence,
                 send_buffer: config.send_buffer,
+                fleet: ceal_fleet::Coordinator::new(ceal_fleet::FleetConfig {
+                    lease: config.worker_lease,
+                    ..ceal_fleet::FleetConfig::default()
+                }),
             }),
         })
     }
@@ -259,6 +271,9 @@ pub(crate) fn endpoint_of(req: &Request) -> Endpoint {
         Request::PushHistory { .. } => Endpoint::PushHistory,
         Request::CloseSession { .. } => Endpoint::CloseSession,
         Request::Metrics | Request::Shutdown => Endpoint::Metrics,
+        Request::RegisterWorker { .. } => Endpoint::RegisterWorker,
+        Request::Heartbeat { .. } => Endpoint::Heartbeat,
+        Request::TaskResult { .. } => Endpoint::TaskResult,
     }
 }
 
@@ -349,7 +364,20 @@ fn ok_or_error<T>(result: Result<T, ServeError>, into: impl FnOnce(T) -> Respons
 
 pub(crate) fn dispatch(req: Request, inner: &ServerInner) -> Response {
     let draining = inner.shutdown.load(Ordering::Acquire);
-    if draining && matches!(req, Request::Tune(_) | Request::CreateSession { .. }) {
+    if draining
+        && matches!(
+            req,
+            Request::Tune(_)
+                | Request::CreateSession { .. }
+                | Request::RegisterWorker { .. }
+                | Request::Heartbeat { .. }
+                | Request::TaskResult { .. }
+        )
+    {
+        // Workers polling a draining server get the same answer as new
+        // campaigns: a clean `shutting-down` frame, which the worker
+        // runtime treats as "stop". In-flight gathers finish via their
+        // deadline plus local fallback.
         return error_frame(ServeError::ShuttingDown);
     }
     match req {
@@ -373,7 +401,7 @@ pub(crate) fn dispatch(req: Request, inner: &ServerInner) -> Response {
         ),
         Request::Advance { session, runs } => ok_or_error(
             with_session(inner, session, |s| {
-                s.advance(runs, &inner.cache, &inner.metrics)
+                s.advance_with(runs, &inner.cache, &inner.metrics, Some(&inner.fleet))
             }),
             Response::Session,
         ),
@@ -400,11 +428,30 @@ pub(crate) fn dispatch(req: Request, inner: &ServerInner) -> Response {
         Request::CloseSession { session } => {
             ok_or_error(inner.sessions.close(session), |()| Response::Ok)
         }
-        Request::Metrics => Response::Metrics(inner.metrics.report(inner.sessions.len() as u64)),
+        Request::Metrics => {
+            let mut report = inner.metrics.report(inner.sessions.len() as u64);
+            report.fleet = inner.fleet.report();
+            Response::Metrics(report)
+        }
         Request::Shutdown => {
             inner.shutdown.store(true, Ordering::Release);
             Response::Ok
         }
+        Request::RegisterWorker { name } => {
+            let (worker, lease_ms) = inner.fleet.register(&name);
+            Response::WorkerRegistered { worker, lease_ms }
+        }
+        Request::Heartbeat { worker } => ok_or_error(
+            inner
+                .fleet
+                .poll(worker, Vec::new())
+                .map_err(ServeError::from),
+            |tasks| Response::TaskAssign { tasks },
+        ),
+        Request::TaskResult { worker, results } => ok_or_error(
+            inner.fleet.poll(worker, results).map_err(ServeError::from),
+            |tasks| Response::TaskAssign { tasks },
+        ),
     }
 }
 

@@ -56,6 +56,9 @@ pub enum ServeError {
     BadRequest(String),
     /// No session with that ID (never created, closed, or evicted).
     UnknownSession(u64),
+    /// No fleet worker with that ID (coordinator restarted or the lease
+    /// aged out); the worker should re-register.
+    UnknownWorker(u64),
     /// The session cannot serve this request in its current phase.
     NotReady(String),
     /// The configuration cannot run on this platform.
@@ -77,6 +80,7 @@ impl ServeError {
         match self {
             Self::BadRequest(_) => "bad-request",
             Self::UnknownSession(_) => "unknown-session",
+            Self::UnknownWorker(_) => "unknown-worker",
             Self::NotReady(_) => "not-ready",
             Self::Infeasible(_) => "infeasible",
             Self::MeasurementFailed(_) => "measurement-failed",
@@ -92,6 +96,7 @@ impl std::fmt::Display for ServeError {
         match self {
             Self::BadRequest(m) => write!(f, "bad request: {m}"),
             Self::UnknownSession(id) => write!(f, "unknown session {id}"),
+            Self::UnknownWorker(id) => write!(f, "unknown worker {id} (re-register)"),
             Self::NotReady(m) => write!(f, "not ready: {m}"),
             Self::Infeasible(m) => write!(f, "infeasible configuration: {m}"),
             Self::MeasurementFailed(m) => write!(f, "measurement failed: {m}"),
@@ -103,6 +108,14 @@ impl std::fmt::Display for ServeError {
 }
 
 impl std::error::Error for ServeError {}
+
+impl From<ceal_fleet::FleetError> for ServeError {
+    fn from(e: ceal_fleet::FleetError) -> Self {
+        match e {
+            ceal_fleet::FleetError::UnknownWorker(id) => ServeError::UnknownWorker(id),
+        }
+    }
+}
 
 /// Parses and validates the shared campaign parameters.
 pub(crate) fn parse_params(p: &TuneParams) -> Result<(WorkflowSpec, Objective), ServeError> {
@@ -369,6 +382,94 @@ impl Session {
         Ok(m.value)
     }
 
+    /// Applies one fleet-measured result exactly as
+    /// [`Session::measure_pool_config`] would have: billed, journaled
+    /// write-ahead, then committed to campaign state. The values are
+    /// bit-identical to a local measurement because workers rebuild the
+    /// same deterministic oracle from the same seed.
+    fn apply_remote_measurement(
+        &mut self,
+        idx: usize,
+        value: f64,
+        exec_time: f64,
+        computer_time: f64,
+        metrics: &ServerMetrics,
+    ) -> Result<(), ServeError> {
+        self.attempt += 1;
+        let attempt = self.attempt;
+        let cfg = self.pool[idx].clone();
+        metrics.add_oracle_measurements(1);
+        self.journal_append(&JournalRecord::Coupled {
+            config: cfg.clone(),
+            value,
+            exec_time,
+            computer_time,
+            attempt,
+        })?;
+        self.measured_idx[idx] = true;
+        self.measured.push((cfg, value));
+        self.budget_left -= 1;
+        Ok(())
+    }
+
+    /// Measures a batch of pool configurations, scattering across the
+    /// fleet when one is available and has live workers.
+    ///
+    /// The fleet path is taken only for fault-free sessions (injected
+    /// faults are a local-retry fixture that must stay on the sequential
+    /// path) and batches worth a scatter round. Whatever the fleet hands
+    /// back unmeasured — worker died, attempts exhausted, gather deadline —
+    /// is measured locally, which yields the very same values, so the
+    /// campaign's trajectory never depends on fleet membership or timing.
+    fn measure_pool_batch(
+        &mut self,
+        idxs: &[usize],
+        metrics: &ServerMetrics,
+        fleet: Option<&ceal_fleet::Coordinator>,
+    ) -> Result<(), ServeError> {
+        let fleet =
+            fleet.filter(|f| self.failure_rate == 0.0 && idxs.len() > 1 && f.live_workers() > 0);
+        let mut remote: HashMap<usize, (f64, f64, f64)> = HashMap::new();
+        if let Some(fleet) = fleet {
+            let configs: Vec<(u64, Vec<i64>)> = idxs
+                .iter()
+                .map(|&i| (i as u64, self.pool[i].clone()))
+                .collect();
+            let batch = fleet.scatter(
+                self.id,
+                &configs,
+                &self.params.workflow,
+                &self.params.objective,
+                ORACLE_BASE_SEED,
+            );
+            let outcome = fleet.gather(batch);
+            for (pool_idx, result) in outcome.results {
+                if let ceal_fleet::TaskOutcome::Measured {
+                    value,
+                    exec_time,
+                    computer_time,
+                } = result
+                {
+                    remote.insert(pool_idx as usize, (value, exec_time, computer_time));
+                }
+            }
+        }
+        // Apply in selection order regardless of fleet completion order:
+        // the journal and the `measured` vector come out byte-for-byte the
+        // same as a purely local run.
+        for &idx in idxs {
+            match remote.get(&idx) {
+                Some(&(value, exec_time, computer_time)) => {
+                    self.apply_remote_measurement(idx, value, exec_time, computer_time, metrics)?;
+                }
+                None => {
+                    self.measure_pool_config(idx, metrics)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn fit_and_score(&mut self) {
         let model = fit_surrogate_samples(
             SurrogateKind::BoostedTrees,
@@ -400,30 +501,44 @@ impl Session {
         idx
     }
 
-    /// One random unmeasured pool index, deterministic in the number of
-    /// measurements taken so far — a retry after an injected fault picks
-    /// the same configuration again.
-    fn random_unmeasured(&self) -> Option<usize> {
-        let free: Vec<usize> = (0..self.pool.len())
-            .filter(|&i| !self.measured_idx[i])
-            .collect();
+    /// One random pool index not marked in `taken`, deterministic in
+    /// `count` — the number of measurements that will exist when this pick
+    /// is measured. Seeding by count alone (never by measured values) is
+    /// what lets a batch be pre-selected up front: pick `k` of a batch
+    /// sees exactly the seed the sequential loop's iteration `k` would,
+    /// and a retry after an injected fault picks the same configuration
+    /// again.
+    fn random_unmeasured_at(&self, taken: &[bool], count: u64) -> Option<usize> {
+        let free: Vec<usize> = (0..self.pool.len()).filter(|&i| !taken[i]).collect();
         if free.is_empty() {
             return None;
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            self.params.seed ^ 0xB007 ^ ((self.measured.len() as u64) << 8),
-        );
+        let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed ^ 0xB007 ^ (count << 8));
         Some(free[rng.gen_range(0..free.len())])
     }
 
     /// Advances the campaign, spending at most `runs` coupled
-    /// measurements. Each call executes at most one phase so clients
-    /// observe every state.
+    /// measurements locally. Identical to [`Session::advance_with`]
+    /// without a fleet.
     pub fn advance(
         &mut self,
         runs: u64,
         cache: &AutotuneCache,
         metrics: &ServerMetrics,
+    ) -> Result<SessionStatus, ServeError> {
+        self.advance_with(runs, cache, metrics, None)
+    }
+
+    /// Advances the campaign, spending at most `runs` coupled
+    /// measurements, scattering each phase's measurement batch across
+    /// `fleet` when one is supplied and has live workers. Each call
+    /// executes at most one phase so clients observe every state.
+    pub fn advance_with(
+        &mut self,
+        runs: u64,
+        cache: &AutotuneCache,
+        metrics: &ServerMetrics,
+        fleet: Option<&ceal_fleet::Coordinator>,
     ) -> Result<SessionStatus, ServeError> {
         if runs == 0 {
             return Err(ServeError::BadRequest("advance of 0 runs".into()));
@@ -459,17 +574,26 @@ impl Session {
             Phase::CollectingHistory => {
                 self.journal_append(&JournalRecord::Marker("phase:bootstrapping".into()))?;
                 self.phase = Phase::Bootstrapping;
-                return self.advance(runs, cache, metrics);
+                return self.advance_with(runs, cache, metrics, fleet);
             }
             Phase::Bootstrapping => {
                 let target = self.n0.saturating_sub(self.measured.len() as u64);
                 let spend = runs.min(target).min(self.budget_left);
-                for _ in 0..spend {
-                    let Some(idx) = self.random_unmeasured() else {
+                // Pre-select the whole batch. The pick seed depends only
+                // on the measurement count, so choosing `spend` configs up
+                // front reproduces the sequential loop's choice sequence
+                // exactly — which is what makes scattering them safe.
+                let mut taken = self.measured_idx.clone();
+                let mut idxs = Vec::with_capacity(spend as usize);
+                for k in 0..spend {
+                    let count = self.measured.len() as u64 + k;
+                    let Some(idx) = self.random_unmeasured_at(&taken, count) else {
                         break;
                     };
-                    self.measure_pool_config(idx, metrics)?;
+                    taken[idx] = true;
+                    idxs.push(idx);
                 }
+                self.measure_pool_batch(&idxs, metrics, fleet)?;
                 if self.measured.len() as u64 >= self.n0 || self.budget_left == 0 {
                     self.fit_and_score();
                     self.journal_append(&JournalRecord::Marker("phase:refining".into()))?;
@@ -478,9 +602,8 @@ impl Session {
             }
             Phase::Refining => {
                 let spend = runs.min(self.budget_left) as usize;
-                for idx in self.top_unmeasured(spend) {
-                    self.measure_pool_config(idx, metrics)?;
-                }
+                let idxs = self.top_unmeasured(spend);
+                self.measure_pool_batch(&idxs, metrics, fleet)?;
                 self.fit_and_score();
                 if self.budget_left == 0 {
                     self.journal_append(&JournalRecord::Marker("phase:done".into()))?;

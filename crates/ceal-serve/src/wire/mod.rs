@@ -1,0 +1,11 @@
+//! The wire layer: everything that crosses a socket, in one place.
+//!
+//! Three parties speak this layer — tuning clients, the server's two
+//! serve cores, and fleet measurement workers — so the frame codec
+//! ([`frame`]) and the message vocabulary ([`protocol`]) live together
+//! here instead of being duplicated per binary. The rest of the crate
+//! (and external users) keep their historical `ceal_serve::frame` /
+//! `ceal_serve::protocol` paths via re-exports in the crate root.
+
+pub mod frame;
+pub mod protocol;

@@ -6,13 +6,19 @@
 //! [`PROTOCOL_VERSION`]; [`Request::Ping`] echoes it so clients can detect
 //! a mismatched server before doing real work.
 
+use ceal_fleet::{FleetReport, TaskReport, TaskSpec};
 use serde::{Deserialize, Serialize};
 
 /// Bumped on any incompatible change to [`Request`] or [`Response`].
 ///
 /// v2: [`MetricsReport`] gained `sessions_rebuilt` (journal-backed session
 /// recovery after a server restart).
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: distributed fleet — [`Request::RegisterWorker`],
+/// [`Request::Heartbeat`], [`Request::TaskResult`],
+/// [`Response::WorkerRegistered`], [`Response::TaskAssign`], and the
+/// `fleet` section of [`MetricsReport`].
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Parameters shared by one-shot tuning and session creation.
 ///
@@ -102,6 +108,29 @@ pub enum Request {
     /// Stop accepting connections, drain in-flight work, and exit the
     /// serve loop.
     Shutdown,
+    /// Join the measurement fleet. Answered with
+    /// [`Response::WorkerRegistered`] carrying the worker's id and lease.
+    RegisterWorker {
+        /// Self-reported worker name (hostname, usually); shown in
+        /// per-worker metrics.
+        name: String,
+    },
+    /// Renew the worker's lease and fetch work. Answered with
+    /// [`Response::TaskAssign`] (possibly empty). The fleet is strictly
+    /// pull-based: the coordinator never pushes frames, so the heartbeat
+    /// doubles as the task fetch.
+    Heartbeat {
+        /// Worker id from [`Response::WorkerRegistered`].
+        worker: u64,
+    },
+    /// Deliver completed measurements; also renews the lease and fetches
+    /// more work, so a busy worker never sends a separate heartbeat.
+    TaskResult {
+        /// Worker id from [`Response::WorkerRegistered`].
+        worker: u64,
+        /// Outcomes for previously assigned tasks, any order.
+        results: Vec<TaskReport>,
+    },
 }
 
 /// One session's externally visible progress.
@@ -159,6 +188,10 @@ pub struct MetricsReport {
     pub sessions_rebuilt: u64,
     /// Sessions currently live.
     pub active_sessions: u64,
+    /// Measurement-fleet counters (all-zero when no worker ever
+    /// registered). `default` so v2 reports still parse.
+    #[serde(default)]
+    pub fleet: FleetReport,
 }
 
 /// A server-to-client message.
@@ -210,14 +243,29 @@ pub enum Response {
     },
     /// Reply to [`Request::Metrics`].
     Metrics(MetricsReport),
+    /// Reply to [`Request::RegisterWorker`].
+    WorkerRegistered {
+        /// Coordinator-assigned worker id; quote it on every poll.
+        worker: u64,
+        /// Lease duration, milliseconds. A worker that stays silent longer
+        /// is marked dead and its in-flight tasks are re-scattered.
+        lease_ms: u64,
+    },
+    /// Reply to [`Request::Heartbeat`] / [`Request::TaskResult`]: newly
+    /// assigned work (often empty).
+    TaskAssign {
+        /// Tasks for this worker to execute, any order.
+        tasks: Vec<TaskSpec>,
+    },
     /// Generic acknowledgement (close, shutdown).
     Ok,
     /// Any failure: the request was understood but could not be served.
     /// The connection stays usable.
     Error {
         /// Stable machine-readable code: `bad-request`, `unknown-session`,
-        /// `not-ready`, `infeasible`, `measurement-failed`,
-        /// `history-mismatch`, `shutting-down`, or `internal`.
+        /// `unknown-worker`, `not-ready`, `infeasible`,
+        /// `measurement-failed`, `history-mismatch`, `shutting-down`, or
+        /// `internal`.
         code: String,
         /// Human-readable detail.
         message: String,
@@ -251,6 +299,21 @@ mod tests {
             Request::PushHistory {
                 session: 3,
                 samples: vec![vec![(vec![4, 2], 1.5)], vec![]],
+            },
+            Request::RegisterWorker {
+                name: "worker-a".into(),
+            },
+            Request::Heartbeat { worker: 2 },
+            Request::TaskResult {
+                worker: 2,
+                results: vec![TaskReport {
+                    task: 9,
+                    outcome: ceal_fleet::TaskOutcome::Measured {
+                        value: 1.0,
+                        exec_time: 2.0,
+                        computer_time: 0.25,
+                    },
+                }],
             },
             Request::Shutdown,
         ];
@@ -292,6 +355,21 @@ mod tests {
                 best: None,
                 best_value: None,
             }),
+            Response::WorkerRegistered {
+                worker: 4,
+                lease_ms: 1500,
+            },
+            Response::TaskAssign {
+                tasks: vec![TaskSpec {
+                    task: 9,
+                    session: 1,
+                    config_index: 0,
+                    config: vec![100, 20, 1, 50, 10, 1],
+                    workflow: "LV".into(),
+                    objective: "comp".into(),
+                    oracle_seed: 2021,
+                }],
+            },
             Response::Error {
                 code: "infeasible".into(),
                 message: "nope".into(),
