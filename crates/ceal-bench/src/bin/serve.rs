@@ -1,7 +1,8 @@
 //! `serve` — run the CEAL tuning service (coordinator or fleet worker).
 //!
 //! ```text
-//! serve [--addr 127.0.0.1:7070] [--workers N] [--cache tuning-cache.json]
+//! serve [--addr 127.0.0.1:7070] [--workers N] [--cache CACHE_DIR]
+//!       [--cache-import bundle.json] [--lru-capacity N]
 //!       [--idle-secs N] [--journal-dir DIR] [--lease-ms N]
 //! serve --worker COORDINATOR_ADDR [--name NAME]
 //! ```
@@ -12,6 +13,12 @@
 //! there, and sessions that were live when the server died are rebuilt
 //! from their journals at the next start.
 //!
+//! `--cache` names a cache *directory* (one checksummed shard file per
+//! workflow); a legacy single-file cache at that path is migrated into
+//! shards on startup. `--cache-import` seeds the cache from a portable
+//! bundle produced by `cache export` before the first request is served —
+//! locally cached campaigns win over imported ones.
+//!
 //! With `--worker ADDR` the process is a fleet measurement worker instead:
 //! it registers with the coordinator at `ADDR`, heartbeats, and executes
 //! scattered measurement tasks until the coordinator drains.
@@ -21,7 +28,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: serve [--addr HOST:PORT] [--workers N] [--cache file.json] [--idle-secs N] \
+        "usage: serve [--addr HOST:PORT] [--workers N] [--cache CACHE_DIR] \
+         [--cache-import bundle.json] [--lru-capacity N] [--idle-secs N] \
          [--journal-dir DIR] [--lease-ms N]\n       serve --worker COORDINATOR_ADDR [--name NAME]"
     );
     std::process::exit(2);
@@ -63,6 +71,10 @@ fn main() {
             "--addr" => config.addr = val(),
             "--workers" => config.workers = val().parse().unwrap_or_else(|_| usage()),
             "--cache" => config.cache_path = Some(val().into()),
+            "--cache-import" => config.cache_import = Some(val().into()),
+            "--lru-capacity" => {
+                config.cache_lru_capacity = val().parse().unwrap_or_else(|_| usage())
+            }
             "--journal-dir" => config.journal_dir = Some(val().into()),
             "--idle-secs" => {
                 config.idle_timeout = Duration::from_secs(val().parse().unwrap_or_else(|_| usage()))

@@ -23,6 +23,8 @@
 //!   `MPI_Comm_launch` enhancement, as injection + retry wrappers).
 //! * [`journal`] — crash-safe campaigns: a checksummed write-ahead journal
 //!   of every measurement, with torn-tail recovery and free replay.
+//! * [`prior`] — transfer priors: seeding a campaign's bootstrap phase
+//!   with a sibling platform's cached samples.
 //! * [`retry`] — the shared retry/backoff policy (seeded jitter,
 //!   deadline) used by the collector and the serve client.
 
@@ -35,6 +37,7 @@ pub mod journal;
 pub mod metrics;
 pub mod oracle;
 pub mod pool;
+pub mod prior;
 pub mod retry;
 
 pub use acm::{CombineFn, ComponentModels, LowFidelityModel};
@@ -52,4 +55,5 @@ pub use journal::{
 };
 pub use oracle::{MeasureError, Measurement, Oracle, PoolOracle, SimOracle, SoloMeasurement};
 pub use pool::sample_pool;
+pub use prior::{fit_surrogate_seeded, TransferPrior};
 pub use retry::{RetryError, RetryPolicy};

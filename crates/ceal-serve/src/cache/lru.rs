@@ -1,0 +1,168 @@
+//! The in-memory LRU front of the tiered cache.
+//!
+//! Hot lookups must never touch disk, but the cache directory can hold
+//! far more campaigns than are worth pinning in memory, so the front is
+//! capacity-bounded with least-recently-used eviction. The implementation
+//! is the classic lazy-deletion LRU: a `HashMap` holds the live entries
+//! tagged with the tick of their last touch, and a `VecDeque` records
+//! `(key, tick)` touch events in order. Eviction pops queue heads until
+//! one matches its entry's current tick — stale heads (the entry was
+//! touched again later, or already evicted) are discarded for free. Every
+//! operation is O(1) amortized and the queue length stays bounded by the
+//! touch count between evictions.
+
+use super::{CacheEntry, CacheKey};
+use std::collections::{HashMap, VecDeque};
+
+pub(crate) struct LruFront {
+    /// Maximum resident entries; `usize::MAX` makes the front unbounded
+    /// (the pure in-memory cache, which has no disk tier behind it).
+    capacity: usize,
+    entries: HashMap<CacheKey, Resident>,
+    /// Touch log, oldest first; lazily pruned.
+    order: VecDeque<(CacheKey, u64)>,
+    tick: u64,
+    /// Evictions performed since creation.
+    pub(crate) evictions: u64,
+}
+
+struct Resident {
+    entry: CacheEntry,
+    last_touch: u64,
+}
+
+impl LruFront {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn touch(&mut self, key: &CacheKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(r) = self.entries.get_mut(key) {
+            r.last_touch = tick;
+        }
+        self.order.push_back((key.clone(), tick));
+    }
+
+    /// Fetches and freshens an entry.
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<CacheEntry> {
+        let hit = self.entries.get(key)?.entry.clone();
+        self.touch(key);
+        Some(hit)
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least recently used
+    /// residents while over capacity.
+    pub(crate) fn insert(&mut self, entry: CacheEntry) {
+        let key = entry.key.clone();
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.insert(
+            key.clone(),
+            Resident {
+                entry,
+                last_touch: tick,
+            },
+        );
+        self.order.push_back((key, tick));
+        while self.entries.len() > self.capacity {
+            let Some((victim, tick)) = self.order.pop_front() else {
+                break; // unreachable: entries ⊆ touch log
+            };
+            // Stale log record: the entry was touched again later (or is
+            // already gone). Only a head matching the entry's latest touch
+            // identifies the true LRU.
+            let is_current = self
+                .entries
+                .get(&victim)
+                .is_some_and(|r| r.last_touch == tick);
+            if is_current {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Iterates the resident entries (no freshening).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.values().map(|r| &r.entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            workflow: "LV".into(),
+            platform: "fp".into(),
+            objective: "comp".into(),
+            pool: 500,
+            seed,
+            budget: 25,
+            algo: "tune:ceal".into(),
+        }
+    }
+
+    fn entry(seed: u64) -> CacheEntry {
+        CacheEntry {
+            key: key(seed),
+            best: vec![1],
+            best_value: seed as f64,
+            runs_used: 1,
+            component_runs: 0,
+            samples: vec![],
+            platform_features: vec![],
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruFront::new(2);
+        lru.insert(entry(1));
+        lru.insert(entry(2));
+        assert!(lru.get(&key(1)).is_some()); // freshen 1 → 2 is now LRU
+        lru.insert(entry(3));
+        assert_eq!(lru.len(), 2);
+        assert!(lru.get(&key(2)).is_none(), "2 was LRU and must be evicted");
+        assert!(lru.get(&key(1)).is_some());
+        assert!(lru.get(&key(3)).is_some());
+        assert_eq!(lru.evictions, 1);
+    }
+
+    #[test]
+    fn replacement_does_not_grow_len() {
+        let mut lru = LruFront::new(4);
+        lru.insert(entry(1));
+        let mut e = entry(1);
+        e.best_value = 9.0;
+        lru.insert(e);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(&key(1)).unwrap().best_value, 9.0);
+        assert_eq!(lru.evictions, 0);
+    }
+
+    #[test]
+    fn touch_log_lazy_deletion_stays_correct_under_churn() {
+        let mut lru = LruFront::new(8);
+        for round in 0..100u64 {
+            lru.insert(entry(round % 16));
+            let _ = lru.get(&key(round % 5));
+            assert!(lru.len() <= 8);
+        }
+        // The 8 residents must be the 8 most recently touched keys.
+        assert_eq!(lru.len(), 8);
+    }
+}

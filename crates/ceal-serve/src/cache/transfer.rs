@@ -1,0 +1,193 @@
+//! Cross-platform transfer: platform feature vectors, nearest-neighbour
+//! lookup, and portable cache bundles.
+//!
+//! The exact-match cache answers "have I tuned *this* platform before?".
+//! Transfer answers the more valuable question a shipped cache raises
+//! (kubecl's autotune: "ship the cache with your program"): *have I tuned
+//! anything close enough to be worth starting from?* Every cached entry
+//! carries the normalized feature vector of the platform it was measured
+//! on; a near-miss within a distance threshold seeds the new campaign's
+//! bootstrap phase with the sibling's samples as a low-fidelity prior —
+//! never as the final answer.
+
+use super::{CacheEntry, CacheKey};
+use ceal_sim::Platform;
+
+/// Distance threshold below which a sibling platform's campaign is close
+/// enough to seed from. Distances are root-mean-square log-ratios per
+/// feature, so 0.5 admits siblings whose parameters differ by roughly
+/// ±65% on average — far enough to cover a hardware refresh, near enough
+/// that the performance landscape still ranks similarly.
+pub const DEFAULT_TRANSFER_THRESHOLD: f64 = 0.5;
+
+/// Stable fingerprint of a [`Platform`]: results measured on one machine
+/// model must never answer exact-match queries about another.
+pub fn platform_fingerprint(p: &Platform) -> String {
+    let mut repr = String::new();
+    for f in platform_features(p) {
+        repr.push_str(&format!("{f:.12e}|"));
+    }
+    format!("{:016x}", super::shard::fnv64(repr.as_bytes()))
+}
+
+/// The structured feature vector of a [`Platform`], each field normalized
+/// by the paper-testbed default so every dimension is O(1) and the
+/// distance metric weighs a doubling of core count like a doubling of
+/// fabric bandwidth.
+///
+/// The struct is destructured exhaustively on purpose: adding a field to
+/// `Platform` is a compile error here until the feature vector (and with
+/// it the fingerprint, which hashes these features) accounts for it.
+pub fn platform_features(p: &Platform) -> Vec<f64> {
+    let Platform {
+        total_nodes,
+        cores_per_node,
+        link_bandwidth,
+        fabric_bandwidth,
+        net_latency,
+        chunk_overhead,
+        fs_bandwidth,
+        fs_per_proc_bandwidth,
+        fs_open_overhead,
+        mem_bw_share,
+        staging_interference,
+    } = *p;
+    let d = Platform::default();
+    vec![
+        total_nodes as f64 / d.total_nodes as f64,
+        cores_per_node as f64 / d.cores_per_node as f64,
+        link_bandwidth / d.link_bandwidth,
+        fabric_bandwidth / d.fabric_bandwidth,
+        net_latency / d.net_latency,
+        chunk_overhead / d.chunk_overhead,
+        fs_bandwidth / d.fs_bandwidth,
+        fs_per_proc_bandwidth / d.fs_per_proc_bandwidth,
+        fs_open_overhead / d.fs_open_overhead,
+        mem_bw_share / d.mem_bw_share,
+        staging_interference / d.staging_interference,
+    ]
+}
+
+/// Distance between two platform feature vectors: root-mean-square of
+/// per-dimension log-ratios. Log space makes the metric scale-free and
+/// symmetric — a platform with half the bandwidth is as far away as one
+/// with double — and mismatched or degenerate vectors (legacy entries
+/// cached before features existed) are infinitely far, so they can never
+/// win a nearest-neighbour lookup.
+pub fn feature_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut sum = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        if x <= 0.0 || y <= 0.0 || !x.is_finite() || !y.is_finite() {
+            return f64::INFINITY;
+        }
+        let d = (x / y).ln();
+        sum += d * d;
+    }
+    (sum / a.len() as f64).sqrt()
+}
+
+/// A near-miss cache hit: a sibling platform's completed campaign close
+/// enough to seed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferHit {
+    /// The sibling campaign.
+    pub entry: CacheEntry,
+    /// Feature-space distance to the querying platform.
+    pub distance: f64,
+}
+
+/// Scans `candidates` for the nearest sibling campaign usable as a
+/// transfer seed for `key` on a platform with `features`.
+///
+/// Eligibility: same workflow and objective (the landscape being
+/// transferred), a *different* platform fingerprint (an exact match is an
+/// exact hit, not a transfer), samples to seed from, and a valid feature
+/// vector within `threshold`. Pool size, seed, budget, and algorithm are
+/// deliberately ignored — prior samples are useful regardless of how the
+/// sibling campaign chose them.
+pub(crate) fn nearest<'a>(
+    candidates: impl Iterator<Item = &'a CacheEntry>,
+    key: &CacheKey,
+    features: &[f64],
+    threshold: f64,
+) -> Option<TransferHit> {
+    let mut best: Option<TransferHit> = None;
+    for e in candidates {
+        if e.key.workflow != key.workflow
+            || e.key.objective != key.objective
+            || e.key.platform == key.platform
+            || e.samples.is_empty()
+        {
+            continue;
+        }
+        let d = feature_distance(&e.platform_features, features);
+        if d > threshold {
+            continue;
+        }
+        if best.as_ref().is_none_or(|b| d < b.distance) {
+            best = Some(TransferHit {
+                entry: e.clone(),
+                distance: d,
+            });
+        }
+    }
+    best
+}
+
+/// Serializes entries as a portable single-file bundle (the shard layout,
+/// checksum included), for `cache export`.
+pub fn bundle_to_json(entries: &[CacheEntry]) -> std::io::Result<String> {
+    super::shard::to_checked_json(entries)
+}
+
+/// Parses and validates a bundle produced by [`bundle_to_json`] (or a
+/// legacy whole-cache blob — same layout). `None` on checksum mismatch.
+pub fn bundle_from_json(text: &str) -> Option<Vec<CacheEntry>> {
+    super::shard::from_checked_json(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_platform_features_are_all_unit() {
+        let f = platform_features(&Platform::default());
+        assert_eq!(f.len(), 11);
+        assert!(f.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fingerprint_differs_when_any_field_changes() {
+        let base = platform_fingerprint(&Platform::default());
+        let mut p = Platform::default();
+        p.cores_per_node += 1;
+        assert_ne!(platform_fingerprint(&p), base);
+        let mut p = Platform::default();
+        p.staging_interference *= 1.5;
+        assert_ne!(platform_fingerprint(&p), base);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_scale_free() {
+        let a = platform_features(&Platform::default());
+        let mut p = Platform::default();
+        p.link_bandwidth /= 2.0;
+        let b = platform_features(&p);
+        let ab = feature_distance(&a, &b);
+        let ba = feature_distance(&b, &a);
+        assert!((ab - ba).abs() < 1e-12);
+        // One halved dimension out of 11: RMS log-ratio = ln(2)/sqrt(11).
+        assert!((ab - (2.0f64).ln() / (11.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_entries_without_features_are_infinitely_far() {
+        let a = platform_features(&Platform::default());
+        assert_eq!(feature_distance(&a, &[]), f64::INFINITY);
+        assert_eq!(feature_distance(&[], &a), f64::INFINITY);
+    }
+}

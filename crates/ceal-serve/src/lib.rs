@@ -10,9 +10,13 @@
 //! * [`session`] — incremental tuning campaigns as state machines
 //!   (`Created → CollectingHistory → Bootstrapping → Refining → Done`)
 //!   in a registry with idle eviction.
-//! * [`cache`] — completed campaigns keyed by (workflow, platform
-//!   fingerprint, objective, pool seed, budget, algorithm), persisted as
-//!   checksummed JSON; warm answers spend zero oracle measurements.
+//! * [`cache`] — a tiered store of completed campaigns keyed by
+//!   (workflow, platform fingerprint, objective, pool seed, budget,
+//!   algorithm): an in-memory LRU front over per-workflow checksummed
+//!   shard files, with portable export/import bundles and
+//!   nearest-platform transfer seeding. Exact warm answers spend zero
+//!   oracle measurements; near-miss platforms start from a sibling's
+//!   samples as a prior.
 //! * [`server`] + [`metrics`] — the TCP server (`std::net` + `ceal-par`),
 //!   batched surrogate prediction over `parallel_map`, per-endpoint
 //!   counters and latency histograms, and graceful shutdown that drains
@@ -55,7 +59,11 @@ pub mod worker;
 pub use wire::frame;
 pub use wire::protocol;
 
-pub use cache::{platform_fingerprint, AutotuneCache, CacheEntry, CacheKey};
+pub use cache::{
+    bundle_from_json, bundle_to_json, feature_distance, platform_features, platform_fingerprint,
+    AutotuneCache, CacheEntry, CacheKey, CacheStats, TransferHit, DEFAULT_LRU_CAPACITY,
+    DEFAULT_TRANSFER_THRESHOLD,
+};
 pub use client::{Client, ClientError, TuneOutcome};
 pub use frame::{
     read_frame, write_frame, write_frame_limited, FrameError, MAX_FRAME_LEN, MAX_MID_FRAME_STALL,

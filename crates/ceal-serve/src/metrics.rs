@@ -85,6 +85,12 @@ pub struct ServerMetrics {
     pub sessions_evicted: AtomicU64,
     /// Sessions rebuilt from their on-disk journals at startup.
     pub sessions_rebuilt: AtomicU64,
+    /// Campaign results that could not be persisted to the cache (the
+    /// entry still served from memory; the disk tier lost it).
+    pub cache_persist_failures: AtomicU64,
+    /// Sessions whose bootstrap was seeded from a sibling platform's
+    /// cached campaign (a near-miss transfer hit).
+    pub cache_transfer_seeded: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -115,8 +121,10 @@ impl ServerMetrics {
     }
 
     /// Snapshots every counter into the wire representation. Endpoints
-    /// with no traffic are omitted. The `fleet` section starts empty; the
-    /// server overlays the coordinator's [`ceal_fleet::FleetReport`].
+    /// with no traffic are omitted. The `fleet` section starts empty and
+    /// the LRU-front counters start zeroed; the server overlays the
+    /// coordinator's [`ceal_fleet::FleetReport`] and the cache's
+    /// [`crate::cache::CacheStats`].
     pub fn report(&self, active_sessions: u64) -> MetricsReport {
         let endpoints = self
             .endpoints
@@ -143,6 +151,12 @@ impl ServerMetrics {
             sessions_created: self.sessions_created.load(Ordering::Relaxed),
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
             sessions_rebuilt: self.sessions_rebuilt.load(Ordering::Relaxed),
+            cache_persist_failures: self.cache_persist_failures.load(Ordering::Relaxed),
+            cache_transfer_seeded: self.cache_transfer_seeded.load(Ordering::Relaxed),
+            cache_lru_hits: 0,
+            cache_lru_misses: 0,
+            cache_lru_evictions: 0,
+            cache_lru_len: 0,
             active_sessions,
             fleet: ceal_fleet::FleetReport::default(),
         }

@@ -17,7 +17,9 @@
 //! and [`Server::run`] returns only after every in-flight connection
 //! drains.
 
-use crate::cache::{AutotuneCache, CacheEntry};
+use crate::cache::{
+    platform_features, AutotuneCache, CacheEntry, DEFAULT_LRU_CAPACITY, DEFAULT_TRANSFER_THRESHOLD,
+};
 use crate::frame::{
     is_idle_timeout, read_message, write_message_limited, FrameError, MAX_MID_FRAME_STALL,
 };
@@ -48,8 +50,23 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Sessions idle longer than this are evicted.
     pub idle_timeout: Duration,
-    /// Persistent cache location; `None` keeps the cache in memory only.
+    /// Persistent cache directory (one checksummed shard file per
+    /// workflow); `None` keeps the cache in memory only. A legacy
+    /// single-blob cache file at this path is migrated into shards on
+    /// bind.
     pub cache_path: Option<PathBuf>,
+    /// Capacity of the cache's in-memory LRU front (disk-backed caches
+    /// only; the in-memory cache is its own unbounded store).
+    pub cache_lru_capacity: usize,
+    /// A cache bundle (from `ceal-bench cache export`) imported at bind,
+    /// seeding the cache before the first request. Entries already cached
+    /// locally win over imported ones.
+    pub cache_import: Option<PathBuf>,
+    /// Platform every campaign on this server measures on.
+    pub platform: ceal_sim::Platform,
+    /// Feature-distance bound for seeding sessions from a cached sibling
+    /// platform's campaign; `0.0` disables transfer seeding.
+    pub transfer_threshold: f64,
     /// Directory for per-session write-ahead journals; `None` disables
     /// journaling. With a directory set, sessions that were live when the
     /// server died are rebuilt from their journals at the next bind.
@@ -77,6 +94,10 @@ impl Default for ServeConfig {
             workers: 4,
             idle_timeout: Duration::from_secs(600),
             cache_path: None,
+            cache_lru_capacity: DEFAULT_LRU_CAPACITY,
+            cache_import: None,
+            platform: ceal_sim::Platform::default(),
+            transfer_threshold: DEFAULT_TRANSFER_THRESHOLD,
             journal_dir: None,
             stall_deadline: MAX_MID_FRAME_STALL,
             event_loop: true,
@@ -105,6 +126,9 @@ pub(crate) struct ServerInner {
     /// Measurement-fleet coordinator: worker registry plus the
     /// scatter/gather scheduler batched `Advance` measurements go through.
     pub(crate) fleet: ceal_fleet::Coordinator,
+    /// Platform one-shot `Tune` campaigns measure on (sessions get theirs
+    /// through the [`SessionManager`]).
+    pub(crate) platform: ceal_sim::Platform,
 }
 
 /// The loopback address a server can reach itself at: wildcard binds
@@ -136,10 +160,20 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let cache = match &config.cache_path {
-            Some(path) => AutotuneCache::at_path(path),
+            Some(path) => AutotuneCache::at_path_with_capacity(path, config.cache_lru_capacity),
             None => AutotuneCache::in_memory(),
         };
-        let mut sessions = SessionManager::new(config.idle_timeout);
+        if let Some(bundle) = &config.cache_import {
+            let text = std::fs::read_to_string(bundle)?;
+            let (imported, skipped) = cache.import_bundle(&text)?;
+            eprintln!(
+                "cache import: {imported} campaigns imported, {skipped} already cached ({})",
+                bundle.display()
+            );
+        }
+        let mut sessions = SessionManager::new(config.idle_timeout)
+            .with_platform(config.platform.clone())
+            .with_transfer_threshold(config.transfer_threshold);
         if let Some(dir) = &config.journal_dir {
             sessions = sessions.with_journal_dir(dir.clone())?;
         }
@@ -166,6 +200,7 @@ impl Server {
                     lease: config.worker_lease,
                     ..ceal_fleet::FleetConfig::default()
                 }),
+                platform: config.platform,
             }),
         })
     }
@@ -431,6 +466,11 @@ pub(crate) fn dispatch(req: Request, inner: &ServerInner) -> Response {
         Request::Metrics => {
             let mut report = inner.metrics.report(inner.sessions.len() as u64);
             report.fleet = inner.fleet.report();
+            let cache = inner.cache.stats();
+            report.cache_lru_hits = cache.lru_hits;
+            report.cache_lru_misses = cache.lru_misses;
+            report.cache_lru_evictions = cache.lru_evictions;
+            report.cache_lru_len = cache.lru_len;
             Response::Metrics(report)
         }
         Request::Shutdown => {
@@ -493,7 +533,7 @@ fn measure_error(e: ceal_core::MeasureError) -> ServeError {
 /// same seed.
 fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError> {
     let (spec, objective) = parse_params(&params)?;
-    let key = cache_key(&params, &Simulator::new().platform, "tune");
+    let key = cache_key(&params, &inner.platform, "tune");
     if let Some(entry) = inner.cache.get(&key) {
         inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
         return Ok(Response::TuneResult {
@@ -506,7 +546,10 @@ fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError>
     }
     inner.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
 
-    let sim = Simulator::new();
+    let sim = Simulator {
+        platform: inner.platform.clone(),
+        ..Simulator::new()
+    };
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0xFACE);
     let pool = sample_pool(&spec, &sim.platform, params.pool as usize, &mut rng);
     let oracle = PoolOracle::precompute(
@@ -533,8 +576,13 @@ fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError>
             .iter()
             .map(|m| (m.config.clone(), m.value))
             .collect(),
+        platform_features: platform_features(&inner.platform),
     };
     if let Err(e) = inner.cache.put(entry) {
+        inner
+            .metrics
+            .cache_persist_failures
+            .fetch_add(1, Ordering::Relaxed);
         eprintln!("warning: cache persistence failed: {e}");
     }
     let runs_used = run.runs_used() as u64;

@@ -17,17 +17,20 @@
 //! Sessions live in a [`SessionManager`] registry guarded by `parking_lot`
 //! locks, carry per-session IDs, and are evicted after an idle timeout.
 
-use crate::cache::{platform_fingerprint, AutotuneCache, CacheEntry, CacheKey};
+use crate::cache::{
+    platform_features, platform_fingerprint, AutotuneCache, CacheEntry, CacheKey, TransferHit,
+    DEFAULT_TRANSFER_THRESHOLD,
+};
 use crate::metrics::{CountingOracle, ServerMetrics};
 use crate::protocol::{SessionStatus, TuneParams};
 use ceal_core::algorithms::SurrogateKind;
 use ceal_core::{
-    encode_pool, fit_surrogate_samples, prepare_campaign, sample_pool, CampaignId,
-    ComponentHistory, FaultInjector, FeatureMap, Journal, JournalRecord, MeasureError, Oracle,
-    SimOracle,
+    encode_pool, fit_surrogate_samples, fit_surrogate_seeded, prepare_campaign, sample_pool,
+    CampaignId, ComponentHistory, FaultInjector, FeatureMap, Journal, JournalRecord, MeasureError,
+    Oracle, SimOracle, TransferPrior,
 };
 use ceal_ml::{Dataset, Regressor};
-use ceal_sim::{Objective, Simulator, WorkflowSpec};
+use ceal_sim::{Objective, Platform, Simulator, WorkflowSpec};
 use parking_lot::{Mutex, RwLock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -224,7 +227,19 @@ pub struct Session {
     phase: Phase,
     budget_left: u64,
     /// Initial coupled batch size before surrogate-guided refinement.
+    /// Zero for transfer-seeded sessions — the prior replaces the random
+    /// bootstrap batch entirely.
     n0: u64,
+    /// How many *own* measurements it takes before the transfer prior is
+    /// dropped from surrogate fits — the cold campaign's bootstrap size,
+    /// so a seeded session's final model is never less grounded than a
+    /// cold one's.
+    prior_hold: u64,
+    /// Sibling-platform samples seeding the bootstrap phase; `None` on
+    /// cold and exact-hit sessions.
+    prior: Option<TransferPrior>,
+    /// How this session was warmed: `exact`, `transfer`, or `cold`.
+    warm_source: &'static str,
     measured: Vec<(Vec<i64>, f64)>,
     measured_idx: Vec<bool>,
     history: ComponentHistory,
@@ -243,9 +258,18 @@ pub struct Session {
 }
 
 impl Session {
-    fn new(id: u64, params: TuneParams, failure_rate: f64, fault_seed: u64) -> Session {
+    fn new(
+        id: u64,
+        params: TuneParams,
+        failure_rate: f64,
+        fault_seed: u64,
+        platform: Platform,
+    ) -> Session {
         let (spec, objective) = parse_params(&params).expect("params validated by caller");
-        let sim = Simulator::new();
+        let sim = Simulator {
+            platform,
+            ..Simulator::new()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0xFACE);
         let pool = sample_pool(&spec, &sim.platform, params.pool as usize, &mut rng);
         let fm = FeatureMap::for_workflow(&spec);
@@ -264,6 +288,9 @@ impl Session {
             phase: Phase::Created,
             budget_left: budget,
             n0,
+            prior_hold: n0,
+            prior: None,
+            warm_source: "cold",
             measured: Vec::new(),
             history: ComponentHistory::empty(n_components),
             surrogate: None,
@@ -278,8 +305,9 @@ impl Session {
 
     /// Rebuilds a completed campaign from a cache entry: surrogate refitted
     /// from the cached samples, no oracle spend.
-    fn from_cache(id: u64, params: TuneParams, entry: &CacheEntry) -> Session {
-        let mut s = Session::new(id, params, 0.0, 0);
+    fn from_cache(id: u64, params: TuneParams, entry: &CacheEntry, platform: Platform) -> Session {
+        let mut s = Session::new(id, params, 0.0, 0, platform);
+        s.warm_source = "exact";
         s.measured = entry.samples.clone();
         for (cfg, _) in &s.measured {
             if let Some(i) = s.pool.iter().position(|c| c == cfg) {
@@ -299,6 +327,32 @@ impl Session {
         s
     }
 
+    /// Starts a campaign seeded by a *near-miss* cache hit: a sibling
+    /// platform's samples become a low-fidelity prior standing in for the
+    /// random bootstrap batch (`n0 = 0`), so every coupled run this
+    /// session pays for goes to surrogate-guided refinement. The prior
+    /// only ever shapes intermediate fits — it is dropped once the session
+    /// owns as many measurements as a cold bootstrap would have taken, and
+    /// the final answer comes from this platform's measurements alone.
+    fn from_transfer(
+        id: u64,
+        params: TuneParams,
+        failure_rate: f64,
+        fault_seed: u64,
+        platform: Platform,
+        hit: &TransferHit,
+    ) -> Session {
+        let mut s = Session::new(id, params, failure_rate, fault_seed, platform);
+        s.warm_source = "transfer";
+        s.n0 = 0;
+        s.prior = Some(TransferPrior::new(
+            hit.entry.samples.clone(),
+            hit.entry.key.platform.clone(),
+            hit.distance,
+        ));
+        s
+    }
+
     /// The externally visible state.
     pub fn status(&self) -> SessionStatus {
         SessionStatus {
@@ -309,6 +363,7 @@ impl Session {
             history_samples: self.history.total_samples() as u64,
             best: self.best.as_ref().map(|(c, _)| c.clone()),
             best_value: self.best.as_ref().map(|&(_, v)| v),
+            warm_source: self.warm_source.to_string(),
         }
     }
 
@@ -427,8 +482,14 @@ impl Session {
         metrics: &ServerMetrics,
         fleet: Option<&ceal_fleet::Coordinator>,
     ) -> Result<(), ServeError> {
-        let fleet =
-            fleet.filter(|f| self.failure_rate == 0.0 && idxs.len() > 1 && f.live_workers() > 0);
+        // Fleet workers rebuild their oracles on the *default* platform,
+        // so a session tuning any other platform must measure locally.
+        let fleet = fleet.filter(|f| {
+            self.failure_rate == 0.0
+                && idxs.len() > 1
+                && f.live_workers() > 0
+                && self.oracle.simulator().platform == Platform::default()
+        });
         let mut remote: HashMap<usize, (f64, f64, f64)> = HashMap::new();
         if let Some(fleet) = fleet {
             let configs: Vec<(u64, Vec<i64>)> = idxs
@@ -471,12 +532,25 @@ impl Session {
     }
 
     fn fit_and_score(&mut self) {
-        let model = fit_surrogate_samples(
-            SurrogateKind::BoostedTrees,
-            &self.fm,
-            &self.measured,
-            self.params.seed,
-        );
+        // A transfer prior carries the fit while this session has fewer
+        // own measurements than a cold bootstrap would have banked; once
+        // it does, the sibling's samples have nothing left to add and the
+        // model is fitted from local measurements only.
+        let model = match &self.prior {
+            Some(prior) if (self.measured.len() as u64) < self.prior_hold => fit_surrogate_seeded(
+                SurrogateKind::BoostedTrees,
+                &self.fm,
+                &self.measured,
+                prior,
+                self.params.seed,
+            ),
+            _ => fit_surrogate_samples(
+                SurrogateKind::BoostedTrees,
+                &self.fm,
+                &self.measured,
+                self.params.seed,
+            ),
+        };
         let scores = model.predict_batch(&self.encoded_pool);
         let mut best_i = 0;
         for (i, s) in scores.iter().enumerate() {
@@ -608,7 +682,7 @@ impl Session {
                 if self.budget_left == 0 {
                     self.journal_append(&JournalRecord::Marker("phase:done".into()))?;
                     self.phase = Phase::Done;
-                    self.finish(cache);
+                    self.finish(cache, metrics);
                 }
             }
             Phase::Done => {}
@@ -617,21 +691,28 @@ impl Session {
     }
 
     /// Publishes the completed campaign to the shared cache and retires
-    /// the journal — the cache is now the durable record.
-    fn finish(&mut self, cache: &AutotuneCache) {
+    /// the journal — the cache is now the durable record. A persistence
+    /// failure is counted on the Metrics endpoint (the entry still serves
+    /// from memory for this process's lifetime).
+    fn finish(&mut self, cache: &AutotuneCache, metrics: &ServerMetrics) {
         self.delete_journal();
         let Some((best, best_value)) = self.best.clone() else {
             return;
         };
+        let platform = &self.oracle.simulator().platform;
         let entry = CacheEntry {
-            key: cache_key(&self.params, &self.oracle.simulator().platform, "session"),
+            key: cache_key(&self.params, platform, "session"),
             best,
             best_value,
             runs_used: self.measured.len() as u64,
             component_runs: self.history.total_samples() as u64,
             samples: self.measured.clone(),
+            platform_features: platform_features(platform),
         };
         if let Err(e) = cache.put(entry) {
+            metrics
+                .cache_persist_failures
+                .fetch_add(1, Ordering::Relaxed);
             eprintln!("warning: cache persistence failed: {e}");
         }
     }
@@ -762,18 +843,38 @@ pub struct SessionManager {
     next_id: AtomicU64,
     idle_timeout: Duration,
     journal_dir: Option<PathBuf>,
+    /// Platform every session on this server measures on.
+    platform: Platform,
+    /// Feature-distance bound for transfer-seeding near-miss lookups.
+    transfer_threshold: f64,
 }
 
 impl SessionManager {
     /// Creates an empty registry evicting sessions idle longer than
-    /// `idle_timeout`.
+    /// `idle_timeout`, tuning the paper-testbed default platform.
     pub fn new(idle_timeout: Duration) -> Self {
         Self {
             sessions: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             idle_timeout,
             journal_dir: None,
+            platform: Platform::default(),
+            transfer_threshold: DEFAULT_TRANSFER_THRESHOLD,
         }
+    }
+
+    /// Sets the platform sessions measure on (fingerprinted into their
+    /// cache keys and matched against cached siblings for transfer).
+    pub fn with_platform(mut self, platform: Platform) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the feature-distance threshold for transfer seeding; `0.0`
+    /// disables transfer entirely.
+    pub fn with_transfer_threshold(mut self, threshold: f64) -> Self {
+        self.transfer_threshold = threshold.max(0.0);
+        self
     }
 
     /// Enables per-session write-ahead journals under `dir` (created if
@@ -811,7 +912,7 @@ impl SessionManager {
             else {
                 continue;
             };
-            match Self::rebuild_one(&entry.path(), id) {
+            match self.rebuild_one(&entry.path(), id) {
                 Ok(session) => {
                     self.next_id.fetch_max(id + 1, Ordering::Relaxed);
                     self.sessions
@@ -826,7 +927,7 @@ impl SessionManager {
         rebuilt
     }
 
-    fn rebuild_one(path: &Path, id: u64) -> Result<Session, ServeError> {
+    fn rebuild_one(&self, path: &Path, id: u64) -> Result<Session, ServeError> {
         let (journal, report) = Journal::open(path)
             .map_err(|e| ServeError::Internal(format!("journal open failed: {e}")))?;
         let mut records = report.records.into_iter();
@@ -850,7 +951,13 @@ impl SessionManager {
             algo: algo.to_string(),
         };
         parse_params(&params)?;
-        let mut session = Session::new(id, params, cid.failure_rate, cid.fault_seed);
+        let mut session = Session::new(
+            id,
+            params,
+            cid.failure_rate,
+            cid.fault_seed,
+            self.platform.clone(),
+        );
         session.journal = Some(journal);
         session.replay(records.collect())?;
         Ok(session)
@@ -866,9 +973,14 @@ impl SessionManager {
         self.len() == 0
     }
 
-    /// Opens a session; warm-cache campaigns start in `done` with their
-    /// surrogate refitted from cached samples. Returns the status and
-    /// whether the cache supplied it.
+    /// Opens a session, consulting the cache tier by tier: an **exact**
+    /// hit starts the session in `done` with its surrogate refitted from
+    /// cached samples and zero oracle spend; failing that, the nearest
+    /// cached sibling platform within the transfer threshold seeds a
+    /// **transfer** campaign (prior samples instead of a random
+    /// bootstrap); otherwise the campaign starts **cold**. Returns the
+    /// status (whose `warm_source` names the tier) and whether an exact
+    /// hit supplied it.
     pub fn create(
         &self,
         params: TuneParams,
@@ -884,15 +996,44 @@ impl SessionManager {
             )));
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let key = cache_key(&params, &Simulator::new().platform, "session");
+        let key = cache_key(&params, &self.platform, "session");
         let (mut session, from_cache) = match cache.get(&key) {
             Some(entry) => {
                 metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-                (Session::from_cache(id, params, &entry), true)
+                (
+                    Session::from_cache(id, params, &entry, self.platform.clone()),
+                    true,
+                )
             }
             None => {
                 metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-                (Session::new(id, params, failure_rate, fault_seed), false)
+                let transfer = match self.transfer_threshold > 0.0 {
+                    true => cache.nearest_transfer(
+                        &key,
+                        &platform_features(&self.platform),
+                        self.transfer_threshold,
+                    ),
+                    false => None,
+                };
+                let session = match &transfer {
+                    Some(hit) => {
+                        metrics
+                            .cache_transfer_seeded
+                            .fetch_add(1, Ordering::Relaxed);
+                        Session::from_transfer(
+                            id,
+                            params,
+                            failure_rate,
+                            fault_seed,
+                            self.platform.clone(),
+                            hit,
+                        )
+                    }
+                    None => {
+                        Session::new(id, params, failure_rate, fault_seed, self.platform.clone())
+                    }
+                };
+                (session, false)
             }
         };
         // Warm-cache sessions spend nothing, so there is nothing worth

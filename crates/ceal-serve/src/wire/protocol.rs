@@ -18,7 +18,13 @@ use serde::{Deserialize, Serialize};
 /// [`Request::Heartbeat`], [`Request::TaskResult`],
 /// [`Response::WorkerRegistered`], [`Response::TaskAssign`], and the
 /// `fleet` section of [`MetricsReport`].
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// v4: tiered cache — [`SessionStatus`] gained `warm_source`
+/// (`exact`/`transfer`/`cold`); [`MetricsReport`] gained the LRU-front
+/// counters (`cache_lru_*`), `cache_persist_failures`, and
+/// `cache_transfer_seeded`. All additions are `#[serde(default)]`, so v3
+/// payloads still parse.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Parameters shared by one-shot tuning and session creation.
 ///
@@ -151,6 +157,12 @@ pub struct SessionStatus {
     pub best: Option<Vec<i64>>,
     /// The surrogate's score for `best` (lower is better).
     pub best_value: Option<f64>,
+    /// How the campaign was warmed from the cache: `exact` (identical
+    /// campaign replayed, zero oracle spend), `transfer` (bootstrap seeded
+    /// from a near-miss sibling platform's samples), or `cold`. Empty when
+    /// talking to a pre-v4 server.
+    #[serde(default)]
+    pub warm_source: String,
 }
 
 /// Latency and error counters for one endpoint.
@@ -186,6 +198,26 @@ pub struct MetricsReport {
     pub sessions_evicted: u64,
     /// Sessions rebuilt from their on-disk journals at startup.
     pub sessions_rebuilt: u64,
+    /// Completed campaigns the cache failed to persist to disk (still
+    /// served from memory). `default` so v3 reports still parse.
+    #[serde(default)]
+    pub cache_persist_failures: u64,
+    /// Sessions seeded from a near-miss sibling platform's cached
+    /// campaign. `default` so v3 reports still parse.
+    #[serde(default)]
+    pub cache_transfer_seeded: u64,
+    /// Cache lookups answered by the in-memory LRU front.
+    #[serde(default)]
+    pub cache_lru_hits: u64,
+    /// Cache lookups that had to consult a shard on disk.
+    #[serde(default)]
+    pub cache_lru_misses: u64,
+    /// Entries evicted from the LRU front to stay under capacity.
+    #[serde(default)]
+    pub cache_lru_evictions: u64,
+    /// Entries currently resident in the LRU front.
+    #[serde(default)]
+    pub cache_lru_len: u64,
     /// Sessions currently live.
     pub active_sessions: u64,
     /// Measurement-fleet counters (all-zero when no worker ever
@@ -345,6 +377,7 @@ mod tests {
                 history_samples: 12,
                 best: Some(vec![1, 2]),
                 best_value: Some(0.5),
+                warm_source: "cold".into(),
             }),
             Response::Session(SessionStatus {
                 session: 2,
@@ -354,6 +387,7 @@ mod tests {
                 history_samples: 0,
                 best: None,
                 best_value: None,
+                warm_source: "transfer".into(),
             }),
             Response::WorkerRegistered {
                 worker: 4,
@@ -380,5 +414,26 @@ mod tests {
             let back: Response = serde_json::from_str(&json).unwrap();
             assert_eq!(back, resp, "round trip failed for {json}");
         }
+    }
+
+    #[test]
+    fn v3_payloads_without_cache_fields_still_parse() {
+        // A v3 server's SessionStatus has no warm_source.
+        let status: SessionStatus = serde_json::from_str(
+            r#"{"session":1,"state":"done","budget_left":0,"measured":8,
+                "history_samples":12,"best":[1,2],"best_value":0.5}"#,
+        )
+        .unwrap();
+        assert_eq!(status.warm_source, "");
+        // And its MetricsReport has none of the cache_* v4 counters.
+        let report: MetricsReport = serde_json::from_str(
+            r#"{"endpoints":[],"oracle_measurements":9,"cache_hits":1,
+                "cache_misses":2,"sessions_created":3,"sessions_evicted":0,
+                "sessions_rebuilt":0,"active_sessions":3}"#,
+        )
+        .unwrap();
+        assert_eq!(report.cache_persist_failures, 0);
+        assert_eq!(report.cache_lru_hits, 0);
+        assert_eq!(report.cache_transfer_seeded, 0);
     }
 }

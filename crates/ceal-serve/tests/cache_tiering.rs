@@ -1,0 +1,285 @@
+//! End-to-end exercise of the tiered cache: legacy-blob migration under a
+//! real server, the three `warm_source` tiers over the wire, the
+//! export → import → warm-serve deployment round trip, and the
+//! acceptance property of transfer seeding — a near-miss platform reaches
+//! the cold campaign's best value with fewer coupled oracle runs.
+
+use ceal_serve::{
+    bundle_to_json, platform_fingerprint, AutotuneCache, Client, ServeConfig, Server,
+    ServerMetrics, SessionManager, TuneParams, DEFAULT_TRANSFER_THRESHOLD,
+};
+use ceal_sim::Platform;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn temp_path(tag: &str) -> PathBuf {
+    ceal_testutil::unique_temp_path(&format!("ceal-tiering-{tag}"), "d")
+}
+
+fn lv_params(seed: u64, budget: u64) -> TuneParams {
+    TuneParams {
+        workflow: "LV".into(),
+        objective: "comp".into(),
+        budget,
+        pool: 200,
+        seed,
+        algo: "ceal".into(),
+    }
+}
+
+/// A platform one hardware refresh away from the default testbed: within
+/// the transfer threshold but fingerprint-distinct.
+fn near_miss_platform() -> Platform {
+    let mut p = Platform::default();
+    p.link_bandwidth *= 0.75;
+    p.fabric_bandwidth *= 0.8;
+    p.cores_per_node = 20;
+    p
+}
+
+fn drive_to_done(client: &mut Client, session: u64) {
+    loop {
+        let st = client.advance(session, 4).expect("advance");
+        if st.state == "done" {
+            return;
+        }
+    }
+}
+
+/// A legacy single-blob cache file named by `--cache` must be split into
+/// per-workflow shards on startup, and its campaigns must keep serving
+/// warm.
+#[test]
+fn server_migrates_legacy_blob_and_serves_it_warm() {
+    let path = temp_path("migrate");
+    let _ = std::fs::remove_dir_all(&path);
+
+    // Produce two completed campaigns the old way: tune into a cache,
+    // then flatten the whole thing into one legacy blob file.
+    let staging = temp_path("migrate-staging");
+    let params_lv = lv_params(5, 8);
+    let params_hs = TuneParams {
+        workflow: "HS".into(),
+        ..lv_params(5, 8)
+    };
+    let handle = Server::bind(ServeConfig {
+        cache_path: Some(staging.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind staging server")
+    .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let lv = client.tune(params_lv.clone()).expect("tune LV");
+    client.tune(params_hs.clone()).expect("tune HS");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("drain");
+    let entries = AutotuneCache::at_path(&staging).all_entries();
+    assert_eq!(entries.len(), 2);
+    std::fs::write(&path, bundle_to_json(&entries).expect("blob")).expect("write legacy blob");
+    let _ = std::fs::remove_dir_all(&staging);
+
+    // A fresh server pointed at the blob migrates it and serves warm.
+    let handle = Server::bind(ServeConfig {
+        cache_path: Some(path.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind on legacy blob")
+    .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let warm = client.tune(params_lv).expect("warm LV");
+    assert!(warm.from_cache, "migrated campaign must serve from cache");
+    assert_eq!(warm.best, lv.best);
+    let warm_hs = client.tune(params_hs).expect("warm HS");
+    assert!(warm_hs.from_cache);
+    assert_eq!(client.metrics().expect("metrics").oracle_measurements, 0);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("drain");
+
+    assert!(
+        path.is_dir(),
+        "blob path must have become a shard directory"
+    );
+    let shards = std::fs::read_dir(&path)
+        .expect("read cache dir")
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with("shard-"))
+        .count();
+    assert_eq!(shards, 2, "one shard per workflow after migration");
+    let _ = std::fs::remove_dir_all(&path);
+}
+
+/// The three warm tiers, observed through `SessionStatus::warm_source`
+/// over the wire: cold on an empty cache, exact on an identical repeat,
+/// transfer on a near-miss platform sharing the cache directory.
+#[test]
+fn warm_source_reports_cold_exact_and_transfer_tiers() {
+    let dir = temp_path("tiers");
+    let _ = std::fs::remove_dir_all(&dir);
+    let params = lv_params(9, 6);
+
+    // Cold, then exact, on the default platform.
+    let handle = Server::bind(ServeConfig {
+        cache_path: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let (st, from_cache) = client.create_session(params.clone(), 0.0, 0).expect("cold");
+    assert!(!from_cache);
+    assert_eq!(st.warm_source, "cold");
+    drive_to_done(&mut client, st.session);
+    let (st, from_cache) = client
+        .create_session(params.clone(), 0.0, 0)
+        .expect("exact");
+    assert!(from_cache);
+    assert_eq!(st.warm_source, "exact");
+    assert_eq!(st.state, "done", "exact hit starts finished");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("drain");
+
+    // Same cache directory, near-miss platform: transfer tier.
+    let handle = Server::bind(ServeConfig {
+        cache_path: Some(dir.clone()),
+        platform: near_miss_platform(),
+        ..ServeConfig::default()
+    })
+    .expect("bind near-miss")
+    .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let (st, from_cache) = client.create_session(params, 0.0, 0).expect("transfer");
+    assert!(!from_cache, "a transfer seed is not an exact answer");
+    assert_eq!(st.warm_source, "transfer");
+    assert_eq!(st.state, "created", "a seeded campaign still measures");
+    drive_to_done(&mut client, st.session);
+    let m = client.metrics().expect("metrics");
+    assert_eq!(m.cache_transfer_seeded, 1);
+    assert!(
+        m.oracle_measurements > 0,
+        "transfer still pays for its runs"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The deployment round trip through real servers: tune on one
+/// deployment, `export` its cache, import the bundle into a second
+/// deployment at startup (`cache_import`), and serve the shipped campaign
+/// warm with zero oracle spend.
+#[test]
+fn export_import_round_trip_serves_warm() {
+    let dir_a = temp_path("ship-a");
+    let dir_b = temp_path("ship-b");
+    let bundle = temp_path("ship-bundle");
+    let params = lv_params(13, 6);
+
+    let handle = Server::bind(ServeConfig {
+        cache_path: Some(dir_a.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind exporter")
+    .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let cold = client.tune(params.clone()).expect("cold tune");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("drain");
+
+    let text = AutotuneCache::at_path(&dir_a)
+        .export_bundle()
+        .expect("export");
+    std::fs::write(&bundle, text).expect("write bundle");
+
+    let handle = Server::bind(ServeConfig {
+        cache_path: Some(dir_b.clone()),
+        cache_import: Some(bundle.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind importer")
+    .spawn();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let warm = client.tune(params).expect("warm tune");
+    assert!(warm.from_cache, "imported campaign must serve warm");
+    assert_eq!(warm.best, cold.best);
+    assert_eq!(warm.best_value, cold.best_value);
+    assert_eq!(client.metrics().expect("metrics").oracle_measurements, 0);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("drain");
+
+    for d in [&dir_a, &dir_b] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let _ = std::fs::remove_file(&bundle);
+}
+
+/// Runs one campaign to completion and returns its cached samples in
+/// measurement order.
+fn run_campaign(
+    platform: Platform,
+    transfer_threshold: f64,
+    cache: &AutotuneCache,
+    budget: u64,
+    expect_source: &str,
+) -> Vec<(Vec<i64>, f64)> {
+    let mgr = SessionManager::new(Duration::from_secs(3600))
+        .with_platform(platform.clone())
+        .with_transfer_threshold(transfer_threshold);
+    let metrics = ServerMetrics::new();
+    let (mut st, _) = mgr
+        .create(lv_params(7, budget), 0.0, 0, cache, &metrics)
+        .expect("create");
+    assert_eq!(st.warm_source, expect_source);
+    let handle = mgr.get(st.session).expect("session");
+    let mut session = handle.lock();
+    while st.state != "done" {
+        st = session.advance(4, cache, &metrics).expect("advance");
+    }
+    let fingerprint = platform_fingerprint(&platform);
+    cache
+        .all_entries()
+        .into_iter()
+        .find(|e| e.key.platform == fingerprint)
+        .expect("finished campaign published")
+        .samples
+}
+
+/// Acceptance: on a near-miss platform, a transfer-seeded campaign must
+/// measure a configuration at least as good as the cold campaign's final
+/// best in strictly fewer coupled oracle runs. The samples come from the
+/// published cache entries, in measurement order, so "runs" counts
+/// exactly the coupled measurements each campaign paid for.
+#[test]
+fn transfer_seeding_reaches_cold_best_with_fewer_coupled_runs() {
+    const BUDGET: u64 = 30;
+    let runs_to = |samples: &[(Vec<i64>, f64)], target: f64| {
+        samples
+            .iter()
+            .position(|&(_, v)| v <= target * (1.0 + 1e-9))
+            .map(|i| i + 1)
+    };
+
+    // A sibling campaign on the paper-testbed platform.
+    let shared = AutotuneCache::in_memory();
+    run_campaign(Platform::default(), 0.0, &shared, BUDGET, "cold");
+
+    // Cold baseline on the near-miss platform (transfer off, own cache).
+    let cold_cache = AutotuneCache::in_memory();
+    let cold = run_campaign(near_miss_platform(), 0.0, &cold_cache, BUDGET, "cold");
+    let target = cold.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+    let cold_runs = runs_to(&cold, target).expect("cold reaches its own best");
+
+    // Transfer-seeded campaign on the same platform, same budget.
+    let seeded = run_campaign(
+        near_miss_platform(),
+        DEFAULT_TRANSFER_THRESHOLD,
+        &shared,
+        BUDGET,
+        "transfer",
+    );
+    let seeded_runs =
+        runs_to(&seeded, target).expect("seeded campaign must reach the cold best at all");
+    assert!(
+        seeded_runs < cold_runs,
+        "transfer seeding must save coupled runs: seeded {seeded_runs} vs cold {cold_runs}"
+    );
+}

@@ -13,7 +13,10 @@
 //!    connections arriving, expired sessions were never evicted and
 //!    `active_sessions` lied.
 
-use ceal_serve::{AutotuneCache, CacheEntry, CacheKey, Client, ServeConfig, Server, TuneParams};
+use ceal_serve::{
+    AutotuneCache, CacheEntry, CacheKey, Client, ServeConfig, Server, ServerMetrics,
+    SessionManager, TuneParams,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,6 +40,7 @@ fn cache_entry(tag: u64) -> CacheEntry {
         runs_used: 25,
         component_runs: 12,
         samples: vec![(vec![18, 18, 2, 18, 18, 2], tag as f64)],
+        platform_features: Vec::new(),
     }
 }
 
@@ -84,11 +88,79 @@ fn concurrent_cache_puts_never_lose_committed_entries() {
             missing.push(tag);
         }
     }
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
     assert!(
         missing.is_empty(),
         "entries committed by put() vanished from disk: {missing:?}"
     );
+}
+
+/// Sharded persistence under real campaign traffic: sessions across
+/// distinct workflows finish simultaneously against one shared disk
+/// cache. Every workflow must end up in its own valid shard file and no
+/// finished campaign may be lost — each one must reload from disk.
+#[test]
+fn simultaneous_finishes_across_workflows_leave_one_valid_shard_each() {
+    let dir = ceal_testutil::unique_temp_path("ceal-cache-shards", "d");
+    let _ = std::fs::remove_dir_all(&dir);
+    const WORKFLOWS: [&str; 3] = ["LV", "HS", "GP"];
+    const SEEDS: [u64; 2] = [41, 42];
+    {
+        let cache = Arc::new(AutotuneCache::at_path(&dir));
+        let mgr = Arc::new(SessionManager::new(Duration::from_secs(3600)));
+        let metrics = Arc::new(ServerMetrics::new());
+        let handles: Vec<_> = WORKFLOWS
+            .iter()
+            .flat_map(|&workflow| SEEDS.iter().map(move |&seed| (workflow, seed)))
+            .map(|(workflow, seed)| {
+                let (cache, mgr, metrics) =
+                    (Arc::clone(&cache), Arc::clone(&mgr), Arc::clone(&metrics));
+                std::thread::spawn(move || {
+                    let params = TuneParams {
+                        workflow: workflow.into(),
+                        objective: "exec".into(),
+                        budget: 4,
+                        pool: 60,
+                        seed,
+                        algo: "ceal".into(),
+                    };
+                    let (mut st, from_cache) = mgr
+                        .create(params, 0.0, 0, &cache, &metrics)
+                        .expect("create");
+                    assert!(!from_cache);
+                    let handle = mgr.get(st.session).expect("session");
+                    let mut session = handle.lock();
+                    while st.state != "done" {
+                        st = session.advance(4, &cache, &metrics).expect("advance");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("campaign thread panicked");
+        }
+        assert_eq!(cache.len(), WORKFLOWS.len() * SEEDS.len());
+    }
+    // Reload from disk: one shard per workflow, every campaign intact.
+    let reloaded = AutotuneCache::at_path(&dir);
+    assert_eq!(reloaded.shard_count(), WORKFLOWS.len());
+    let entries = reloaded.all_entries();
+    assert_eq!(entries.len(), WORKFLOWS.len() * SEEDS.len());
+    for &workflow in &WORKFLOWS {
+        let per_workflow = entries
+            .iter()
+            .filter(|e| e.key.workflow == workflow)
+            .count();
+        assert_eq!(per_workflow, SEEDS.len(), "{workflow} shard lost an update");
+    }
+    for e in entries {
+        assert!(
+            reloaded.get(&e.key).is_some(),
+            "finished campaign {:?} must be retrievable",
+            e.key
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Bug 2: a wildcard-bound server must shut down cleanly — the wakeup

@@ -148,7 +148,9 @@ fn warm_cache_answers_without_oracle_measurements() {
 
     client.shutdown().expect("shutdown");
     handle.join().expect("join");
-    let _ = std::fs::remove_file(&cache);
+    // The cache path is a shard directory now (a legacy file would have
+    // been migrated into one).
+    let _ = std::fs::remove_dir_all(&cache);
 }
 
 /// Four clients run full tuning campaigns concurrently: three clean

@@ -12,21 +12,31 @@
 //!
 //! The item is parsed directly from the token stream (no `syn`/`quote`,
 //! which are unavailable offline). Supported shapes: non-generic structs
-//! with named fields and non-generic enums. `#[serde(...)]` attributes are
-//! accepted but ignored; anything unsupported fails the build with a clear
-//! message rather than silently producing wrong code.
+//! with named fields and non-generic enums. Of the `#[serde(...)]`
+//! attributes, `#[serde(default)]` on a named struct field is honored
+//! (a missing field deserializes as `Default::default()` instead of
+//! erroring — the schema-evolution escape hatch); everything else is
+//! accepted but ignored, and anything unsupported fails the build with a
+//! clear message rather than silently producing wrong code.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Item {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
         variants: Vec<Variant>,
     },
+}
+
+struct Field {
+    name: String,
+    /// Marked `#[serde(default)]`: deserialize a missing key as
+    /// `Default::default()` instead of a missing-field error.
+    has_default: bool,
 }
 
 struct Variant {
@@ -38,7 +48,7 @@ enum VariantKind {
     Unit,
     /// Parenthesised payload with this many elements (1 = newtype).
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Derives the stub `serde::Serialize`.
@@ -50,6 +60,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let mut out = String::new();
             out.push_str("out.push('{');\n");
             for (i, f) in fields.iter().enumerate() {
+                let f = &f.name;
                 if i > 0 {
                     out.push_str("out.push(',');\n");
                 }
@@ -99,12 +110,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         arms.push_str(&write);
                     }
                     VariantKind::Struct(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let mut write = format!(
                             "{name}::{vn} {{ {} }} => {{\n\
                              out.push_str(\"{{\\\"{vn}\\\":{{\");\n",
-                            fields.join(", ")
+                            names.join(", ")
                         );
-                        for (i, f) in fields.iter().enumerate() {
+                        for (i, f) in names.iter().enumerate() {
                             if i > 0 {
                                 write.push_str("out.push(',');\n");
                             }
@@ -232,27 +244,41 @@ fn item_name(item: &Item) -> &str {
     }
 }
 
-fn struct_field_inits(ty: &str, fields: &[String], obj: &str) -> String {
+fn struct_field_inits(ty: &str, fields: &[Field], obj: &str) -> String {
     let mut out = String::new();
-    for f in fields {
+    for field in fields {
+        let f = &field.name;
+        let on_missing = match field.has_default {
+            true => "::std::default::Default::default()".to_string(),
+            false => format!(
+                "return ::std::result::Result::Err(\
+                 ::serde::Error::missing_field(\"{f}\", \"{ty}\"))"
+            ),
+        };
         out.push_str(&format!(
             "{f}: match ::serde::fields_get({obj}, \"{f}\") {{\n\
              ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_json(x)?,\n\
-             ::std::option::Option::None => return ::std::result::Result::Err(\
-             ::serde::Error::missing_field(\"{f}\", \"{ty}\")),\n}},\n"
+             ::std::option::Option::None => {on_missing},\n}},\n"
         ));
     }
     out
 }
 
-fn enum_struct_field_inits(ty: &str, variant: &str, fields: &[String], obj: &str) -> String {
+fn enum_struct_field_inits(ty: &str, variant: &str, fields: &[Field], obj: &str) -> String {
     let mut out = String::new();
-    for f in fields {
+    for field in fields {
+        let f = &field.name;
+        let on_missing = match field.has_default {
+            true => "::std::default::Default::default()".to_string(),
+            false => format!(
+                "return ::std::result::Result::Err(\
+                 ::serde::Error::missing_field(\"{f}\", \"{ty}::{variant}\"))"
+            ),
+        };
         out.push_str(&format!(
             "{f}: match ::serde::fields_get({obj}, \"{f}\") {{\n\
              ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize_json(x)?,\n\
-             ::std::option::Option::None => return ::std::result::Result::Err(\
-             ::serde::Error::missing_field(\"{f}\", \"{ty}::{variant}\")),\n}},\n"
+             ::std::option::Option::None => {on_missing},\n}},\n"
         ));
     }
     out
@@ -300,13 +326,16 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Skips `#[...]` attributes (including doc comments) and a `pub` /
-/// `pub(...)` prefix.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// `pub(...)` prefix. Returns whether a `#[serde(default)]` attribute was
+/// among the skipped ones.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1;
-                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    has_default |= is_serde_default_attr(g);
                     *i += 1;
                 }
             }
@@ -319,8 +348,27 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1;
                 }
             }
-            _ => return,
+            _ => return has_default,
         }
+    }
+}
+
+/// Whether the bracketed attribute body `g` is `serde(..., default, ...)`.
+fn is_serde_default_attr(g: &proc_macro::Group) -> bool {
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let mut inner = g.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match inner.next() {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => args
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
     }
 }
 
@@ -328,12 +376,12 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
 /// names. Type tokens are skipped with angle-bracket depth tracking so
 /// commas inside generics (e.g. `HashMap<String, u64>`) do not split a
 /// field.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let has_default = skip_attrs_and_vis(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -349,7 +397,10 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             ),
         }
         skip_type(&tokens, &mut i);
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            has_default,
+        });
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
