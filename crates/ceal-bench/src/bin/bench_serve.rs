@@ -238,6 +238,7 @@ fn run_fleet_bench(out: &str) -> ! {
                     poll_interval: Duration::from_millis(2),
                     retry: RetryPolicy::no_delay(3),
                     stop: Some(stop),
+                    ..WorkerConfig::default()
                 };
                 std::thread::spawn(move || run_worker(cfg))
             })
@@ -601,6 +602,27 @@ fn main() {
         percentile(&latencies, 99.9),
     );
 
+    // ---- Server-side view of the same load: the HDR histogram behind
+    // the metrics endpoint, fetched before shutdown so the ping numbers
+    // cover exactly the requests measured above. ----
+    let server_ping = {
+        let mut ctl = open_session(&addr).expect("metrics connect failed");
+        write_message(&mut ctl, &Request::Metrics).expect("metrics write failed");
+        match read_message::<Response>(&mut ctl).expect("metrics read failed") {
+            Response::Metrics(report) => report.endpoints.into_iter().find(|e| e.name == "ping"),
+            other => panic!("metrics request answered with {other:?}"),
+        }
+    };
+    let (server_p50_ms, server_p99_ms, server_p999_ms) = server_ping
+        .map(|e| {
+            (
+                e.p50_us as f64 / 1e3,
+                e.p99_us as f64 / 1e3,
+                e.p999_us as f64 / 1e3,
+            )
+        })
+        .unwrap_or((0.0, 0.0, 0.0));
+
     // ---- Shut the spawned server down (drains the idle sessions too). ----
     match backend {
         Backend::External => {}
@@ -632,6 +654,9 @@ fn main() {
             vec!["p50 ms".into(), format!("{p50:.3}")],
             vec!["p99 ms".into(), format!("{p99:.3}")],
             vec!["p999 ms".into(), format!("{p999:.3}")],
+            vec!["server p50 ms".into(), format!("{server_p50_ms:.3}")],
+            vec!["server p99 ms".into(), format!("{server_p99_ms:.3}")],
+            vec!["server p999 ms".into(), format!("{server_p999_ms:.3}")],
         ],
     );
 
@@ -648,6 +673,9 @@ fn main() {
         "p50_ms": p50,
         "p99_ms": p99,
         "p999_ms": p999,
+        "server_p50_ms": server_p50_ms,
+        "server_p99_ms": server_p99_ms,
+        "server_p999_ms": server_p999_ms,
     });
     // Merge over any existing document so a prior `--fleet` section (or
     // future sibling scenarios) survives a load re-run.

@@ -4,7 +4,8 @@
 //! serve [--addr 127.0.0.1:7070] [--workers N] [--cache CACHE_DIR]
 //!       [--cache-import bundle.json] [--lru-capacity N]
 //!       [--idle-secs N] [--journal-dir DIR] [--lease-ms N]
-//! serve --worker COORDINATOR_ADDR [--name NAME]
+//!       [--trace-dir DIR]
+//! serve --worker COORDINATOR_ADDR [--name NAME] [--trace-dir DIR]
 //! ```
 //!
 //! Serves until a client sends a `Shutdown` request, then drains in-flight
@@ -22,6 +23,10 @@
 //! With `--worker ADDR` the process is a fleet measurement worker instead:
 //! it registers with the coordinator at `ADDR`, heartbeats, and executes
 //! scattered measurement tasks until the coordinator drains.
+//!
+//! `--trace-dir` turns on structured tracing: every span and warning is
+//! flushed as JSON lines into that directory (one file per process).
+//! Inspect the result with the `trace` binary.
 
 use ceal_serve::{run_worker, ServeConfig, Server, WorkerConfig};
 use std::time::Duration;
@@ -30,19 +35,34 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--cache CACHE_DIR] \
          [--cache-import bundle.json] [--lru-capacity N] [--idle-secs N] \
-         [--journal-dir DIR] [--lease-ms N]\n       serve --worker COORDINATOR_ADDR [--name NAME]"
+         [--journal-dir DIR] [--lease-ms N] [--trace-dir DIR]\n       \
+         serve --worker COORDINATOR_ADDR [--name NAME] [--trace-dir DIR]"
     );
     std::process::exit(2);
 }
 
-fn worker_main(coordinator: String, name: Option<String>) -> ! {
+fn worker_main(
+    coordinator: String,
+    name: Option<String>,
+    trace_dir: Option<std::path::PathBuf>,
+) -> ! {
+    let tracer = match &trace_dir {
+        Some(dir) => ceal_trace::Tracer::to_dir(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open trace dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }),
+        None => ceal_trace::Tracer::disabled(),
+    };
     let cfg = WorkerConfig {
         coordinator,
         name: name.unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        tracer: tracer.clone(),
         ..WorkerConfig::default()
     };
     println!("ceal-worker '{}' polling {}", cfg.name, cfg.coordinator);
-    match run_worker(cfg) {
+    let outcome = run_worker(cfg);
+    tracer.flush();
+    match outcome {
         Ok(summary) => {
             println!(
                 "ceal-worker done: {} executed, {} failed",
@@ -85,11 +105,12 @@ fn main() {
             }
             "--worker" => worker_addr = Some(val()),
             "--name" => worker_name = Some(val()),
+            "--trace-dir" => config.trace_dir = Some(val().into()),
             _ => usage(),
         }
     }
     if let Some(coordinator) = worker_addr {
-        worker_main(coordinator, worker_name);
+        worker_main(coordinator, worker_name, config.trace_dir);
     }
 
     let server = Server::bind(config).unwrap_or_else(|e| {

@@ -1,0 +1,160 @@
+//! `trace` — inspect a trace directory written by `serve --trace-dir`.
+//!
+//! ```text
+//! trace dump DIR [--trace HEX] [--name PREFIX] [--kind B|E|I|W]
+//! trace check DIR [--require name1,name2,...]
+//! trace summarize DIR [--trace HEX]
+//! ```
+//!
+//! `dump` reprints matching events one per line (already-parsed, so a
+//! malformed line fails the whole dump). `check` validates every line
+//! and exits nonzero on any malformed line or missing required event
+//! name — the CI smoke gate. `summarize` folds each campaign trace into
+//! a per-phase breakdown: time per tuning phase, local vs. fleet-worker
+//! oracle measurements, journal commit cost, cache tier hits, warnings.
+
+use ceal_bench::tracefile::{check_dir, render_summary, summarize, ParsedEvent};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace dump DIR [--trace HEX] [--name PREFIX] [--kind B|E|I|W]\n\
+         \x20      trace check DIR [--require name1,name2,...]\n\
+         \x20      trace summarize DIR [--trace HEX]"
+    );
+    std::process::exit(2);
+}
+
+struct Filter {
+    trace: Option<u64>,
+    name: Option<String>,
+    kind: Option<char>,
+}
+
+impl Filter {
+    fn keeps(&self, ev: &ParsedEvent) -> bool {
+        if let Some(t) = self.trace {
+            if ev.trace != t {
+                return false;
+            }
+        }
+        if let Some(prefix) = &self.name {
+            if !ev.name.starts_with(prefix.as_str()) {
+                return false;
+            }
+        }
+        if let Some(k) = self.kind {
+            if ev.kind != k {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn parse_trace_id(hex: &str) -> u64 {
+    u64::from_str_radix(hex, 16).unwrap_or_else(|_| {
+        eprintln!("--trace takes a hex trace id, got {hex:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| usage());
+    let dir: PathBuf = args.next().unwrap_or_else(|| usage()).into();
+    let mut filter = Filter {
+        trace: None,
+        name: None,
+        kind: None,
+    };
+    let mut require: Vec<String> = Vec::new();
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--trace" => filter.trace = Some(parse_trace_id(&val())),
+            "--name" => filter.name = Some(val()),
+            "--kind" => {
+                let v = val();
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c @ ('B' | 'E' | 'I' | 'W')), None) => filter.kind = Some(c),
+                    _ => usage(),
+                }
+            }
+            "--require" => require = val().split(',').map(|s| s.trim().to_string()).collect(),
+            _ => usage(),
+        }
+    }
+
+    let report = match check_dir(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match cmd.as_str() {
+        "dump" => {
+            if !report.bad.is_empty() {
+                let (file, lineno, err) = &report.bad[0];
+                eprintln!("trace: {file}:{lineno}: {err}");
+                std::process::exit(1);
+            }
+            for ev in report.parsed.iter().filter(|e| filter.keeps(e)) {
+                let fields = if ev.fields.is_empty() {
+                    String::new()
+                } else {
+                    let parts: Vec<String> = ev
+                        .fields
+                        .iter()
+                        .map(|(k, v)| {
+                            let v = serde_json::to_string(v).unwrap_or_else(|_| "?".into());
+                            format!("{k}={v}")
+                        })
+                        .collect();
+                    format!("  {}", parts.join(" "))
+                };
+                println!(
+                    "{:>14} {} {:<24} trace={:016x} span={} parent={} dur={}us{}",
+                    ev.ts_us, ev.kind, ev.name, ev.trace, ev.span, ev.parent, ev.dur_us, fields
+                );
+            }
+        }
+        "check" => {
+            println!(
+                "{} files, {} lines, {} parsed, {} bad",
+                report.files,
+                report.lines,
+                report.parsed.len(),
+                report.bad.len()
+            );
+            for (file, lineno, err) in report.bad.iter().take(10) {
+                eprintln!("  {file}:{lineno}: {err}");
+            }
+            let mut names: Vec<_> = report.names.iter().collect();
+            names.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            for (name, count) in names {
+                println!("  {count:>8}  {name}");
+            }
+            let required: Vec<&str> = require.iter().map(String::as_str).collect();
+            let missing = report.missing(&required);
+            for name in &missing {
+                eprintln!("required event {name:?} never appeared");
+            }
+            if !report.bad.is_empty() || !missing.is_empty() {
+                std::process::exit(1);
+            }
+        }
+        "summarize" => {
+            let events: Vec<ParsedEvent> = report
+                .parsed
+                .into_iter()
+                .filter(|e| filter.trace.is_none_or(|t| e.trace == t))
+                .collect();
+            print!("{}", render_summary(&summarize(&events)));
+        }
+        _ => usage(),
+    }
+}

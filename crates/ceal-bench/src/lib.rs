@@ -17,6 +17,7 @@ pub mod agg;
 pub mod experiments;
 pub mod report;
 pub mod scenario;
+pub mod tracefile;
 
 pub use agg::{evaluate_runs, AlgoStats};
 pub use scenario::{history, scenario, Scenario};

@@ -12,6 +12,7 @@
 
 use crate::types::{FleetReport, TaskId, TaskOutcome, TaskReport, TaskSpec, WorkerId, WorkerStats};
 use ceal_core::RetryPolicy;
+use ceal_trace::{TraceContext, Tracer};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -111,6 +112,9 @@ struct Batch {
     results: HashMap<u64, TaskOutcome>,
     /// Tasks given up on, for the caller's local fallback.
     unmeasured: Vec<(u64, Vec<i64>)>,
+    /// Trace context the batch was scattered under (the scatter span), so
+    /// the matching gather parents itself on the same campaign trace.
+    ctx: TraceContext,
 }
 
 #[derive(Default)]
@@ -141,6 +145,7 @@ struct State {
 /// The fleet coordinator. See the [module docs](self).
 pub struct Coordinator {
     cfg: FleetConfig,
+    tracer: Tracer,
     state: Mutex<State>,
     /// Signalled whenever a batch makes progress (result applied, task
     /// abandoned, worker reaped) so gathers re-check their batch.
@@ -148,10 +153,17 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// Creates an empty fleet under `cfg`.
+    /// Creates an empty fleet under `cfg`, untraced.
     pub fn new(cfg: FleetConfig) -> Self {
+        Self::with_tracer(cfg, Tracer::disabled())
+    }
+
+    /// Creates an empty fleet under `cfg` that records scatter/gather
+    /// spans and lease-expiry warnings through `tracer`.
+    pub fn with_tracer(cfg: FleetConfig, tracer: Tracer) -> Self {
         Self {
             cfg,
+            tracer,
             state: Mutex::new(State {
                 workers: HashMap::new(),
                 worker_order: Vec::new(),
@@ -291,6 +303,11 @@ impl Coordinator {
 
     /// Scatters one batch of `(config_index, config)` tasks for
     /// `session`; returns the batch handle for [`Coordinator::gather`].
+    ///
+    /// `ctx` is the caller's trace position (usually the session's current
+    /// phase span). Every [`TaskSpec`] in the batch is stamped with
+    /// `ctx.trace` and the scatter span's id, so worker-side measurement
+    /// spans land in the originating campaign's trace.
     pub fn scatter(
         &self,
         session: u64,
@@ -298,16 +315,30 @@ impl Coordinator {
         workflow: &str,
         objective: &str,
         oracle_seed: u64,
+        ctx: TraceContext,
     ) -> u64 {
+        let mut span = self.tracer.span("fleet.scatter", ctx);
+        span.field("session", session);
+        span.field("tasks", configs.len() as u64);
+        let batch_ctx = if ctx.trace != 0 {
+            TraceContext {
+                trace: ctx.trace,
+                span: span.id(),
+            }
+        } else {
+            ctx
+        };
         let mut s = self.state.lock();
         let batch_id = s.next_batch;
         s.next_batch += 1;
+        span.field("batch", batch_id);
         s.batches.insert(
             batch_id,
             Batch {
                 pending: configs.len() as u64,
                 results: HashMap::new(),
                 unmeasured: Vec::new(),
+                ctx: batch_ctx,
             },
         );
         for (config_index, config) in configs {
@@ -323,6 +354,8 @@ impl Coordinator {
                     workflow: workflow.to_string(),
                     objective: objective.to_string(),
                     oracle_seed,
+                    trace: batch_ctx.trace,
+                    span: batch_ctx.span,
                 },
                 attempts: 0,
             });
@@ -336,6 +369,11 @@ impl Coordinator {
     pub fn gather(&self, batch: u64) -> GatherOutcome {
         let deadline = Instant::now() + self.cfg.gather_deadline;
         let mut s = self.state.lock();
+        let mut span = self.tracer.span(
+            "fleet.gather",
+            s.batches.get(&batch).map(|b| b.ctx).unwrap_or_default(),
+        );
+        span.field("batch", batch);
         loop {
             self.reap_dead(&mut s);
             let done = s
@@ -351,6 +389,7 @@ impl Coordinator {
                     pending: 0,
                     results: HashMap::new(),
                     unmeasured: Vec::new(),
+                    ctx: TraceContext::NONE,
                 });
                 if b.pending > 0 {
                     Self::abandon_batch(&mut s, batch, &mut b);
@@ -358,6 +397,8 @@ impl Coordinator {
                 let mut results: Vec<(u64, TaskOutcome)> = b.results.into_iter().collect();
                 results.sort_by_key(|&(i, _)| i);
                 b.unmeasured.sort_by_key(|&(i, _)| i);
+                span.field("results", results.len() as u64);
+                span.field("unmeasured", b.unmeasured.len() as u64);
                 return GatherOutcome {
                     results,
                     unmeasured: b.unmeasured,
@@ -410,6 +451,21 @@ impl Coordinator {
             return;
         }
         s.counters.workers_lost += dead.len() as u64;
+        for id in &dead {
+            let name = s
+                .workers
+                .get(id)
+                .map(|w| w.name.clone())
+                .unwrap_or_default();
+            self.tracer.warn(
+                "fleet.lease-expired",
+                TraceContext::NONE,
+                &format!(
+                    "worker {id} ({name}) missed its lease; re-scattering its in-flight tasks"
+                ),
+                &[("worker", (*id).into())],
+            );
+        }
         let max_attempts = self.cfg.rescatter.max_attempts.max(1);
         let orphaned: Vec<TaskId> = s
             .in_flight
@@ -515,7 +571,7 @@ mod tests {
         assert!(lease_ms > 0);
         assert_eq!(c.live_workers(), 2);
 
-        let batch = c.scatter(1, &configs(4), "LV", "exec", 2021);
+        let batch = c.scatter(1, &configs(4), "LV", "exec", 2021, TraceContext::NONE);
         // tasks_per_poll = 1 → strict alternation as the workers poll.
         let ta = c.poll(a, vec![]).unwrap();
         let tb = c.poll(b, vec![]).unwrap();
@@ -543,7 +599,7 @@ mod tests {
     fn dead_worker_tasks_are_rescattered_to_the_survivor() {
         let c = Coordinator::new(cfg(30));
         let (a, _) = c.register("doomed");
-        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021);
+        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021, TraceContext::NONE);
         let ta = c.poll(a, vec![]).unwrap();
         assert_eq!(ta.len(), 1);
 
@@ -568,7 +624,7 @@ mod tests {
     fn raced_duplicate_result_is_dropped_not_applied() {
         let c = Coordinator::new(cfg(30));
         let (a, _) = c.register("slow");
-        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021);
+        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021, TraceContext::NONE);
         let ta = c.poll(a, vec![]).unwrap();
         std::thread::sleep(Duration::from_millis(60));
         let (b, _) = c.register("fast");
@@ -587,7 +643,7 @@ mod tests {
     #[test]
     fn gather_with_no_workers_hands_everything_back() {
         let c = Coordinator::new(cfg(60_000));
-        let batch = c.scatter(1, &configs(3), "LV", "exec", 2021);
+        let batch = c.scatter(1, &configs(3), "LV", "exec", 2021, TraceContext::NONE);
         let start = Instant::now();
         let out = c.gather(batch);
         assert!(out.results.is_empty());
@@ -606,7 +662,7 @@ mod tests {
             ..cfg(20)
         });
         let (a, _) = c.register("one-shot");
-        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021);
+        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021, TraceContext::NONE);
         let ta = c.poll(a, vec![]).unwrap();
         assert_eq!(ta.len(), 1);
         std::thread::sleep(Duration::from_millis(50));
@@ -625,7 +681,7 @@ mod tests {
             ..cfg(60_000)
         });
         let (a, _) = c.register("hoarder");
-        let batch = c.scatter(1, &configs(2), "LV", "exec", 2021);
+        let batch = c.scatter(1, &configs(2), "LV", "exec", 2021, TraceContext::NONE);
         let ta = c.poll(a, vec![]).unwrap();
         // Reporting the first result picks up the second task, which the
         // live-but-stuck worker then holds past the gather deadline.
@@ -637,6 +693,33 @@ mod tests {
         // The stuck worker's eventual report resolves as a duplicate.
         c.poll(a, vec![measured(held[0].task, 2.0)]).unwrap();
         assert_eq!(c.report().duplicate_results, 1);
+    }
+
+    #[test]
+    fn scatter_stamps_task_specs_with_the_campaign_trace() {
+        let tracer = Tracer::in_memory();
+        let c = Coordinator::with_tracer(cfg(60_000), tracer.clone());
+        let (a, _) = c.register("a");
+        let ctx = TraceContext::root(tracer.new_trace());
+        let batch = c.scatter(1, &configs(1), "LV", "exec", 2021, ctx);
+        let ta = c.poll(a, vec![]).unwrap();
+        assert_eq!(ta[0].trace, ctx.trace, "spec must carry the campaign trace");
+        assert_ne!(ta[0].span, 0, "spec must carry the scatter span");
+        c.poll(a, vec![measured(ta[0].task, 1.0)]).unwrap();
+        c.gather(batch);
+        let events = tracer.drain_events();
+        let scatter_end = events
+            .iter()
+            .find(|e| e.name == "fleet.scatter" && e.kind == ceal_trace::EventKind::End)
+            .expect("scatter span recorded");
+        assert_eq!(scatter_end.trace, ctx.trace);
+        assert_eq!(scatter_end.span, ta[0].span);
+        let gather_end = events
+            .iter()
+            .find(|e| e.name == "fleet.gather" && e.kind == ceal_trace::EventKind::End)
+            .expect("gather span recorded");
+        assert_eq!(gather_end.trace, ctx.trace);
+        assert_eq!(gather_end.parent, scatter_end.span);
     }
 
     #[test]

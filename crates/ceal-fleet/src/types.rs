@@ -39,6 +39,16 @@ pub struct TaskSpec {
     /// and workers, which is what makes fleet results bit-identical to
     /// local ones.
     pub oracle_seed: u64,
+    /// Trace identifier of the originating session's campaign; the worker
+    /// parents its measurement span here so one campaign yields one
+    /// correlated trace across the whole fleet. Zero when the coordinator
+    /// is untraced or predates protocol v5 (`default` keeps v4 parsing).
+    #[serde(default)]
+    pub trace: u64,
+    /// Span identifier of the scatter batch that dispatched this task,
+    /// inside `trace`. Zero when untraced.
+    #[serde(default)]
+    pub span: u64,
 }
 
 /// A worker's verdict on one task.
@@ -130,6 +140,8 @@ mod tests {
             workflow: "LV".into(),
             objective: "exec".into(),
             oracle_seed: 2021,
+            trace: 0xfeed_beef,
+            span: 3,
         };
         let json = serde_json::to_string(&spec).unwrap();
         assert_eq!(serde_json::from_str::<TaskSpec>(&json).unwrap(), spec);

@@ -27,6 +27,7 @@ pub mod lru;
 pub mod shard;
 pub mod transfer;
 
+use ceal_trace::{TraceContext, Tracer};
 use lru::LruFront;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -132,14 +133,26 @@ impl AutotuneCache {
 
     /// [`AutotuneCache::at_path`] with an explicit LRU-front capacity.
     pub fn at_path_with_capacity(path: impl AsRef<Path>, capacity: usize) -> Self {
+        Self::at_path_traced(path, capacity, &Tracer::disabled())
+    }
+
+    /// [`AutotuneCache::at_path_with_capacity`], reporting an unusable
+    /// cache directory as a structured `cache.unusable` warning through
+    /// `tracer` (the stderr line is emitted either way).
+    pub fn at_path_traced(path: impl AsRef<Path>, capacity: usize, tracer: &Tracer) -> Self {
         let store = match ShardStore::open(path.as_ref()) {
             Ok(store) => Some(store),
             Err(e) => {
                 // A cache that cannot persist still serves: degrade to
                 // memory-only rather than refusing to start.
-                eprintln!(
-                    "warning: cache directory {} unusable ({e}); continuing in memory",
-                    path.as_ref().display()
+                tracer.warn(
+                    "cache.unusable",
+                    TraceContext::NONE,
+                    &format!(
+                        "cache directory {} unusable ({e}); continuing in memory",
+                        path.as_ref().display()
+                    ),
+                    &[("path", path.as_ref().display().to_string().into())],
                 );
                 None
             }
@@ -173,18 +186,31 @@ impl AutotuneCache {
     /// Looks up a campaign by key: LRU front first, then the workflow's
     /// shard on disk (promoting a disk hit into the front).
     pub fn get(&self, key: &CacheKey) -> Option<CacheEntry> {
+        self.get_with_tier(key).0
+    }
+
+    /// [`AutotuneCache::get`], also naming the tier that answered —
+    /// `"front"` (LRU hit), `"disk"` (shard hit, promoted), or `"miss"` —
+    /// so callers can attribute the lookup in trace events.
+    pub fn get_with_tier(&self, key: &CacheKey) -> (Option<CacheEntry>, &'static str) {
         if let Some(hit) = self.front.lock().get(key) {
             self.lru_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(hit);
+            return (Some(hit), "front");
         }
         self.lru_misses.fetch_add(1, Ordering::Relaxed);
-        let store = self.store.as_ref()?;
-        let found = store
-            .load(&key.workflow)
-            .into_iter()
-            .find(|e| &e.key == key)?;
-        self.front.lock().insert(found.clone());
-        Some(found)
+        let found = self.store.as_ref().and_then(|store| {
+            store
+                .load(&key.workflow)
+                .into_iter()
+                .find(|e| &e.key == key)
+        });
+        match found {
+            Some(found) => {
+                self.front.lock().insert(found.clone());
+                (Some(found), "disk")
+            }
+            None => (None, "miss"),
+        }
     }
 
     /// Inserts (or replaces) a campaign in the front and persists it to

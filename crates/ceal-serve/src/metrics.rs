@@ -2,15 +2,21 @@
 //!
 //! Everything is lock-free atomics so recording a sample never contends
 //! with request handling; the `metrics` endpoint snapshots whatever the
-//! counters hold at that instant.
+//! counters hold at that instant. Latencies land in an HDR-style
+//! log2-bucketed histogram ([`ceal_trace::LogHistogram`], ≤3.2 % relative
+//! error) from which the report derives real server-side p50/p99/p999 per
+//! endpoint; the legacy 5-bound coarse buckets stay on the wire, collapsed
+//! from the same histogram.
 
+use crate::cache::CacheStats;
 use crate::protocol::{EndpointStats, MetricsReport};
+use ceal_fleet::FleetReport;
+use ceal_trace::LogHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Histogram bucket upper bounds, microseconds; the last bucket is
-/// unbounded. Chosen to straddle the service's realistic range: cache hits
-/// land in the first buckets, full tuning campaigns in the last.
+/// Legacy coarse-bucket upper bounds, microseconds; the last wire bucket
+/// is unbounded. Kept for pre-v5 readers of the metrics endpoint.
 const BUCKET_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
 
 /// Endpoint names, indexed by [`Endpoint`]'s discriminant.
@@ -66,7 +72,7 @@ struct EndpointCounters {
     count: AtomicU64,
     errors: AtomicU64,
     total_us: AtomicU64,
-    buckets: [AtomicU64; 6],
+    hist: LogHistogram,
 }
 
 /// All service counters; shared across workers via `Arc`.
@@ -108,11 +114,7 @@ impl ServerMetrics {
         }
         let us = latency.as_micros().min(u64::MAX as u128) as u64;
         c.total_us.fetch_add(us, Ordering::Relaxed);
-        let bucket = BUCKET_BOUNDS_US
-            .iter()
-            .position(|&bound| us < bound)
-            .unwrap_or(BUCKET_BOUNDS_US.len());
-        c.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        c.hist.record(us);
     }
 
     /// Adds `n` oracle measurements to the global spend counter.
@@ -121,11 +123,18 @@ impl ServerMetrics {
     }
 
     /// Snapshots every counter into the wire representation. Endpoints
-    /// with no traffic are omitted. The `fleet` section starts empty and
-    /// the LRU-front counters start zeroed; the server overlays the
-    /// coordinator's [`ceal_fleet::FleetReport`] and the cache's
-    /// [`crate::cache::CacheStats`].
-    pub fn report(&self, active_sessions: u64) -> MetricsReport {
+    /// with no traffic are omitted; traffic-bearing endpoints carry HDR
+    /// p50/p99/p999 plus the legacy coarse buckets collapsed from the same
+    /// histogram. The cache and fleet sections are required inputs —
+    /// callers cannot forget to overlay them and silently report zeros
+    /// (pass `&CacheStats::default()` / `FleetReport::default()` when
+    /// there genuinely is no cache or fleet).
+    pub fn report(
+        &self,
+        active_sessions: u64,
+        cache: &CacheStats,
+        fleet: FleetReport,
+    ) -> MetricsReport {
         let endpoints = self
             .endpoints
             .iter()
@@ -136,11 +145,10 @@ impl ServerMetrics {
                 count: c.count.load(Ordering::Relaxed),
                 errors: c.errors.load(Ordering::Relaxed),
                 total_us: c.total_us.load(Ordering::Relaxed),
-                buckets: c
-                    .buckets
-                    .iter()
-                    .map(|b| b.load(Ordering::Relaxed))
-                    .collect(),
+                buckets: c.hist.collapse(&BUCKET_BOUNDS_US),
+                p50_us: c.hist.quantile(0.50),
+                p99_us: c.hist.quantile(0.99),
+                p999_us: c.hist.quantile(0.999),
             })
             .collect();
         MetricsReport {
@@ -153,12 +161,12 @@ impl ServerMetrics {
             sessions_rebuilt: self.sessions_rebuilt.load(Ordering::Relaxed),
             cache_persist_failures: self.cache_persist_failures.load(Ordering::Relaxed),
             cache_transfer_seeded: self.cache_transfer_seeded.load(Ordering::Relaxed),
-            cache_lru_hits: 0,
-            cache_lru_misses: 0,
-            cache_lru_evictions: 0,
-            cache_lru_len: 0,
+            cache_lru_hits: cache.lru_hits,
+            cache_lru_misses: cache.lru_misses,
+            cache_lru_evictions: cache.lru_evictions,
+            cache_lru_len: cache.lru_len,
             active_sessions,
-            fleet: ceal_fleet::FleetReport::default(),
+            fleet,
         }
     }
 }
@@ -210,9 +218,75 @@ impl ceal_core::Oracle for CountingOracle<'_> {
     }
 }
 
+/// An [`Oracle`](ceal_core::Oracle) wrapper that emits one
+/// `oracle.measure` span per measurement (field `mode` distinguishes
+/// coupled from solo runs, `source` is always `local` — fleet-executed
+/// measurements get their spans worker-side). Stacks on top of
+/// [`CountingOracle`] so a measurement is both billed and traced.
+pub struct TracingOracle<'a> {
+    inner: &'a dyn ceal_core::Oracle,
+    tracer: &'a ceal_trace::Tracer,
+    ctx: ceal_trace::TraceContext,
+}
+
+impl<'a> TracingOracle<'a> {
+    /// Wraps `inner`, parenting every measurement span on `ctx`.
+    pub fn new(
+        inner: &'a dyn ceal_core::Oracle,
+        tracer: &'a ceal_trace::Tracer,
+        ctx: ceal_trace::TraceContext,
+    ) -> Self {
+        Self { inner, tracer, ctx }
+    }
+}
+
+impl ceal_core::Oracle for TracingOracle<'_> {
+    fn spec(&self) -> &ceal_sim::WorkflowSpec {
+        self.inner.spec()
+    }
+
+    fn platform(&self) -> &ceal_sim::Platform {
+        self.inner.platform()
+    }
+
+    fn objective(&self) -> ceal_sim::Objective {
+        self.inner.objective()
+    }
+
+    fn try_measure(
+        &self,
+        config: &[i64],
+    ) -> Result<ceal_core::Measurement, ceal_core::MeasureError> {
+        let mut span = self.tracer.span("oracle.measure", self.ctx);
+        span.field("source", "local");
+        span.field("mode", "coupled");
+        let result = self.inner.try_measure(config);
+        if let Ok(m) = &result {
+            span.field("value", m.value);
+        }
+        result
+    }
+
+    fn try_measure_component(
+        &self,
+        component: usize,
+        values: &[i64],
+    ) -> Result<ceal_core::SoloMeasurement, ceal_core::MeasureError> {
+        let mut span = self.tracer.span("oracle.measure", self.ctx);
+        span.field("source", "local");
+        span.field("mode", "solo");
+        span.field("component", component as u64);
+        self.inner.try_measure_component(component, values)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn bare_report(m: &ServerMetrics, active: u64) -> MetricsReport {
+        m.report(active, &CacheStats::default(), FleetReport::default())
+    }
 
     #[test]
     fn record_fills_buckets_and_counts() {
@@ -220,7 +294,7 @@ mod tests {
         m.record(Endpoint::Ping, Duration::from_micros(50), false);
         m.record(Endpoint::Ping, Duration::from_millis(5), true);
         m.record(Endpoint::Ping, Duration::from_secs(2), false);
-        let report = m.report(0);
+        let report = bare_report(&m, 0);
         assert_eq!(report.endpoints.len(), 1);
         let ep = &report.endpoints[0];
         assert_eq!(ep.name, "ping");
@@ -231,12 +305,63 @@ mod tests {
     }
 
     #[test]
+    fn report_carries_hdr_percentiles() {
+        let m = ServerMetrics::new();
+        // 50 fast requests and one slow outlier: p50 must sit near the
+        // fast mode, p99/p999 near the outlier — unobservable with the
+        // old 5-bucket histogram.
+        for _ in 0..50 {
+            m.record(Endpoint::Ping, Duration::from_micros(200), false);
+        }
+        m.record(Endpoint::Ping, Duration::from_millis(80), false);
+        let ep = &bare_report(&m, 0).endpoints[0];
+        assert!(
+            (190..=210).contains(&ep.p50_us),
+            "p50 should track the fast mode: {}",
+            ep.p50_us
+        );
+        assert!(
+            (75_000..=85_000).contains(&ep.p99_us),
+            "p99 should track the outlier: {}",
+            ep.p99_us
+        );
+        assert!(ep.p999_us >= ep.p99_us);
+    }
+
+    #[test]
     fn untouched_endpoints_are_omitted() {
         let m = ServerMetrics::new();
         m.record(Endpoint::Tune, Duration::from_micros(10), false);
-        let report = m.report(3);
+        let report = bare_report(&m, 3);
         assert_eq!(report.endpoints.len(), 1);
         assert_eq!(report.endpoints[0].name, "tune");
         assert_eq!(report.active_sessions, 3);
+    }
+
+    #[test]
+    fn report_overlays_cache_and_fleet_inputs() {
+        // Regression: report() used to hard-zero the cache_lru_* fields
+        // and the fleet section, relying on every caller to remember the
+        // overlay. Now they are inputs, so the snapshot below can only
+        // come from the arguments.
+        let m = ServerMetrics::new();
+        let cache = CacheStats {
+            lru_hits: 7,
+            lru_misses: 3,
+            lru_evictions: 2,
+            lru_len: 5,
+        };
+        let fleet = FleetReport {
+            live_workers: 2,
+            tasks_dispatched: 9,
+            ..FleetReport::default()
+        };
+        let report = m.report(1, &cache, fleet);
+        assert_eq!(report.cache_lru_hits, 7);
+        assert_eq!(report.cache_lru_misses, 3);
+        assert_eq!(report.cache_lru_evictions, 2);
+        assert_eq!(report.cache_lru_len, 5);
+        assert_eq!(report.fleet.live_workers, 2);
+        assert_eq!(report.fleet.tasks_dispatched, 9);
     }
 }

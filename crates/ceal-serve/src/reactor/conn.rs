@@ -66,6 +66,12 @@ pub struct Conn {
     /// When the current mid-frame read or unfinished write must have made
     /// progress by; `None` at frame boundaries.
     pub stall_deadline: Option<Instant>,
+    /// Connection-lifetime trace span (`conn`): opened at registration,
+    /// ended — wherever the connection dies — by this struct's drop.
+    pub span: Option<ceal_trace::Span>,
+    /// `(endpoint, frame arrival, is_error)` of the in-flight response;
+    /// recorded into the latency histogram when the write flushes.
+    pub pending_metric: Option<(crate::metrics::Endpoint, Instant, bool)>,
     header: [u8; 4],
     header_filled: usize,
     payload: Vec<u8>,
@@ -83,6 +89,8 @@ impl Conn {
             close_after_write: false,
             timer_armed: false,
             stall_deadline: None,
+            span: None,
+            pending_metric: None,
             header: [0; 4],
             header_filled: 0,
             payload: Vec::new(),

@@ -29,6 +29,7 @@ pub mod sys;
 pub mod timer;
 
 use crate::frame::FrameError;
+use crate::metrics::Endpoint;
 use crate::protocol::{Request, Response};
 use crate::server::{dispatch, endpoint_of, ServerInner};
 use conn::{Conn, ConnState, ReadOutcome, WriteOutcome};
@@ -69,6 +70,10 @@ struct Completion {
     framed: Vec<u8>,
     /// Close once flushed (decode errors, shutdown acknowledgement).
     close_after_write: bool,
+    /// `(endpoint, frame arrival, is_error)` to record into the latency
+    /// histogram once the response is fully flushed, so server-side
+    /// percentiles cover queueing, handling, *and* write-back.
+    metric: Option<(Endpoint, Instant, bool)>,
 }
 
 /// Worker → reactor channel; pushes wake the loop through the eventfd.
@@ -183,24 +188,28 @@ fn encode_frame(resp: &Response) -> Vec<u8> {
 }
 
 /// Runs one request on the calling worker thread and queues its framed
-/// response. Mirrors the blocking path exactly: JSON decode errors map to
-/// one `bad-request` frame and a close, handler panics are contained to
-/// an `internal` error frame, latency and errors land in the metrics.
+/// response. Mirrors the blocking path: JSON decode errors map to one
+/// `bad-request` frame and a close, handler panics are contained to an
+/// `internal` error frame. Latency is recorded when the response write
+/// flushes — from `arrived` (frame completion) to flush — so server-side
+/// percentiles cover queueing, decode, handling, and write-back: the
+/// closest the server can get to what the client observes.
 fn handle_request(
     payload: Vec<u8>,
+    arrived: Instant,
     inner: &ServerInner,
     completions: &Completions,
     index: usize,
     gen: u32,
 ) {
-    let start = Instant::now();
-    let (resp, close) = match serde_json::from_slice::<Request>(&payload) {
+    let (resp, close, metric) = match serde_json::from_slice::<Request>(&payload) {
         Err(e) => (
             Response::Error {
                 code: "bad-request".into(),
                 message: FrameError::Decode(e.to_string()).to_string(),
             },
             true,
+            None,
         ),
         Ok(req) => {
             let is_shutdown = matches!(req, Request::Shutdown);
@@ -218,8 +227,11 @@ fn handle_request(
                     }
                 });
             let is_error = matches!(resp, Response::Error { .. });
-            inner.metrics.record(endpoint, start.elapsed(), is_error);
-            (resp, is_shutdown && !is_error)
+            (
+                resp,
+                is_shutdown && !is_error,
+                Some((endpoint, arrived, is_error)),
+            )
         }
     };
     completions.push(Completion {
@@ -227,6 +239,7 @@ fn handle_request(
         gen,
         framed: encode_frame(&resp),
         close_after_write: close,
+        metric,
     });
 }
 
@@ -329,6 +342,18 @@ impl Reactor {
             self.conns.remove(index);
             return Err(e);
         }
+        if self.inner.tracer.enabled() {
+            if let Some(conn) = self.conns.get(index, gen) {
+                let mut span = self
+                    .inner
+                    .tracer
+                    .span("conn", ceal_trace::TraceContext::NONE);
+                if let Ok(peer) = conn.stream.peer_addr() {
+                    span.field("peer", peer.to_string());
+                }
+                conn.span = Some(span);
+            }
+        }
         Ok(())
     }
 
@@ -370,6 +395,7 @@ impl Reactor {
                 }
             }
             ReadOutcome::Frame(payload) => {
+                let arrived = Instant::now();
                 if let Some(conn) = self.conns.get(index, gen) {
                     conn.stall_deadline = None;
                     conn.state = ConnState::Dispatching;
@@ -378,7 +404,7 @@ impl Reactor {
                 let inner = Arc::clone(&self.inner);
                 let completions = Arc::clone(&self.completions);
                 self.pool.execute_tracked(&self.wg, move || {
-                    handle_request(payload, &inner, &completions, index, gen)
+                    handle_request(payload, arrived, &inner, &completions, index, gen)
                 });
             }
             ReadOutcome::Closed => self.close_conn(index),
@@ -409,6 +435,15 @@ impl Reactor {
                     || match self.conns.get(index, gen) {
                         Some(conn) => {
                             conn.stall_deadline = None;
+                            if let Some((endpoint, arrived, is_error)) = conn.pending_metric.take()
+                            {
+                                // Fresh clock, not the loop's `now`: the
+                                // write syscall just happened and belongs
+                                // in the recorded latency.
+                                self.inner
+                                    .metrics
+                                    .record(endpoint, arrived.elapsed(), is_error);
+                            }
                             conn.close_after_write
                         }
                         None => return,
@@ -442,6 +477,7 @@ impl Reactor {
                 Some(conn) => {
                     conn.start_write(c.framed);
                     conn.close_after_write |= c.close_after_write;
+                    conn.pending_metric = c.metric;
                     true
                 }
             };

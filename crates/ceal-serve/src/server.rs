@@ -23,7 +23,7 @@ use crate::cache::{
 use crate::frame::{
     is_idle_timeout, read_message, write_message_limited, FrameError, MAX_MID_FRAME_STALL,
 };
-use crate::metrics::{CountingOracle, Endpoint, ServerMetrics};
+use crate::metrics::{CountingOracle, Endpoint, ServerMetrics, TracingOracle};
 use crate::protocol::{Request, Response, TuneParams, PROTOCOL_VERSION};
 use crate::session::{
     cache_key, parse_params, ServeError, Session, SessionManager, ORACLE_BASE_SEED,
@@ -33,6 +33,7 @@ use ceal_core::{
     Oracle, PoolOracle, RandomSampling, SimOracle,
 };
 use ceal_sim::Simulator;
+use ceal_trace::{TraceContext, Tracer};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -85,6 +86,13 @@ pub struct ServeConfig {
     /// longer than this is marked dead and its in-flight tasks are
     /// re-scattered to the survivors.
     pub worker_lease: Duration,
+    /// Directory for structured trace output (one JSONL file per server
+    /// process); `None` leaves tracing to [`ServeConfig::tracer`].
+    pub trace_dir: Option<PathBuf>,
+    /// Trace sink used when [`ServeConfig::trace_dir`] is `None`. Disabled
+    /// by default (every trace call reduces to one branch); tests inject
+    /// [`Tracer::in_memory`] here to assert on events.
+    pub tracer: Tracer,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +111,8 @@ impl Default for ServeConfig {
             event_loop: true,
             send_buffer: None,
             worker_lease: Duration::from_millis(1500),
+            trace_dir: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -129,6 +139,8 @@ pub(crate) struct ServerInner {
     /// Platform one-shot `Tune` campaigns measure on (sessions get theirs
     /// through the [`SessionManager`]).
     pub(crate) platform: ceal_sim::Platform,
+    /// Structured trace sink shared by every layer of the server.
+    pub(crate) tracer: Tracer,
 }
 
 /// The loopback address a server can reach itself at: wildcard binds
@@ -159,8 +171,14 @@ impl Server {
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // The tracer is resolved first so every later construction step
+        // (cache open, journal rebuild, fleet) reports through it.
+        let tracer = match &config.trace_dir {
+            Some(dir) => Tracer::to_dir(dir)?,
+            None => config.tracer.clone(),
+        };
         let cache = match &config.cache_path {
-            Some(path) => AutotuneCache::at_path_with_capacity(path, config.cache_lru_capacity),
+            Some(path) => AutotuneCache::at_path_traced(path, config.cache_lru_capacity, &tracer),
             None => AutotuneCache::in_memory(),
         };
         if let Some(bundle) = &config.cache_import {
@@ -170,10 +188,19 @@ impl Server {
                 "cache import: {imported} campaigns imported, {skipped} already cached ({})",
                 bundle.display()
             );
+            tracer.instant(
+                "cache.import",
+                TraceContext::NONE,
+                &[
+                    ("imported", (imported as u64).into()),
+                    ("skipped", (skipped as u64).into()),
+                ],
+            );
         }
         let mut sessions = SessionManager::new(config.idle_timeout)
             .with_platform(config.platform.clone())
-            .with_transfer_threshold(config.transfer_threshold);
+            .with_transfer_threshold(config.transfer_threshold)
+            .with_tracer(tracer.clone());
         if let Some(dir) = &config.journal_dir {
             sessions = sessions.with_journal_dir(dir.clone())?;
         }
@@ -196,11 +223,15 @@ impl Server {
                 stall_deadline: config.stall_deadline,
                 evict_cadence,
                 send_buffer: config.send_buffer,
-                fleet: ceal_fleet::Coordinator::new(ceal_fleet::FleetConfig {
-                    lease: config.worker_lease,
-                    ..ceal_fleet::FleetConfig::default()
-                }),
+                fleet: ceal_fleet::Coordinator::with_tracer(
+                    ceal_fleet::FleetConfig {
+                        lease: config.worker_lease,
+                        ..ceal_fleet::FleetConfig::default()
+                    },
+                    tracer.clone(),
+                ),
                 platform: config.platform,
+                tracer,
             }),
         })
     }
@@ -294,6 +325,26 @@ impl ServerHandle {
     }
 }
 
+/// The per-request span name for `endpoint` (static, so the hot path never
+/// formats a string).
+pub(crate) fn request_span_name(endpoint: Endpoint) -> &'static str {
+    match endpoint {
+        Endpoint::Ping => "request.ping",
+        Endpoint::Tune => "request.tune",
+        Endpoint::CreateSession => "request.create-session",
+        Endpoint::Advance => "request.advance",
+        Endpoint::Status => "request.status",
+        Endpoint::Predict => "request.predict",
+        Endpoint::Measure => "request.measure",
+        Endpoint::PushHistory => "request.push-history",
+        Endpoint::CloseSession => "request.close-session",
+        Endpoint::Metrics => "request.metrics",
+        Endpoint::RegisterWorker => "request.register-worker",
+        Endpoint::Heartbeat => "request.heartbeat",
+        Endpoint::TaskResult => "request.task-result",
+    }
+}
+
 pub(crate) fn endpoint_of(req: &Request) -> Endpoint {
     match req {
         Request::Ping => Endpoint::Ping,
@@ -313,6 +364,14 @@ pub(crate) fn endpoint_of(req: &Request) -> Endpoint {
 }
 
 fn handle_connection(mut stream: TcpStream, inner: Arc<ServerInner>) {
+    // Connection-lifetime span: `Begin` at accept, `End` (with duration)
+    // on any exit path below. The reactor path records the same pair.
+    let mut conn_span = inner.tracer.span("conn", TraceContext::NONE);
+    if inner.tracer.enabled() {
+        if let Ok(peer) = stream.peer_addr() {
+            conn_span.field("peer", peer.to_string());
+        }
+    }
     let _ = stream.set_read_timeout(Some(IDLE_TICK));
     // Writes must surface timeouts so the stall deadline can be enforced;
     // without this a peer that stops reading pins the worker forever.
@@ -398,6 +457,20 @@ fn ok_or_error<T>(result: Result<T, ServeError>, into: impl FnOnce(T) -> Respons
 }
 
 pub(crate) fn dispatch(req: Request, inner: &ServerInner) -> Response {
+    // Every request gets its own trace; campaign-scoped work (sessions,
+    // tune) additionally records under its campaign trace.
+    let mut req_span = inner.tracer.span(
+        request_span_name(endpoint_of(&req)),
+        TraceContext::root(inner.tracer.new_trace()),
+    );
+    let resp = dispatch_inner(req, inner);
+    if let Response::Error { code, .. } = &resp {
+        req_span.field("error", code.clone());
+    }
+    resp
+}
+
+fn dispatch_inner(req: Request, inner: &ServerInner) -> Response {
     let draining = inner.shutdown.load(Ordering::Acquire);
     if draining
         && matches!(
@@ -463,18 +536,16 @@ pub(crate) fn dispatch(req: Request, inner: &ServerInner) -> Response {
         Request::CloseSession { session } => {
             ok_or_error(inner.sessions.close(session), |()| Response::Ok)
         }
-        Request::Metrics => {
-            let mut report = inner.metrics.report(inner.sessions.len() as u64);
-            report.fleet = inner.fleet.report();
-            let cache = inner.cache.stats();
-            report.cache_lru_hits = cache.lru_hits;
-            report.cache_lru_misses = cache.lru_misses;
-            report.cache_lru_evictions = cache.lru_evictions;
-            report.cache_lru_len = cache.lru_len;
-            Response::Metrics(report)
-        }
+        Request::Metrics => Response::Metrics(inner.metrics.report(
+            inner.sessions.len() as u64,
+            &inner.cache.stats(),
+            inner.fleet.report(),
+        )),
         Request::Shutdown => {
             inner.shutdown.store(true, Ordering::Release);
+            // Land everything still buffered in the trace ring before the
+            // process starts draining connections.
+            inner.tracer.flush();
             Response::Ok
         }
         Request::RegisterWorker { name } => {
@@ -533,9 +604,23 @@ fn measure_error(e: ceal_core::MeasureError) -> ServeError {
 /// same seed.
 fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError> {
     let (spec, objective) = parse_params(&params)?;
+    let mut span = inner.tracer.span(
+        "campaign.tune",
+        TraceContext::root(inner.tracer.new_trace()),
+    );
+    span.field("workflow", params.workflow.as_str());
+    span.field("algo", params.algo.as_str());
+    span.field("budget", params.budget);
     let key = cache_key(&params, &inner.platform, "tune");
-    if let Some(entry) = inner.cache.get(&key) {
+    let (hit, tier) = inner.cache.get_with_tier(&key);
+    inner.tracer.instant(
+        "cache.lookup",
+        span.ctx(),
+        &[("tier", tier.into()), ("endpoint", "tune".into())],
+    );
+    if let Some(entry) = hit {
         inner.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        span.field("from_cache", 1u64);
         return Ok(Response::TuneResult {
             best: entry.best,
             best_value: entry.best_value,
@@ -557,11 +642,12 @@ fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError>
         &pool,
     );
     let counting = CountingOracle::new(&oracle, &inner.metrics);
+    let traced = TracingOracle::new(&counting, &inner.tracer, span.ctx());
     let algo = make_algo(&params.algo);
     let run = algo
-        .try_run(&counting, &pool, params.budget as usize, params.seed)
+        .try_run(&traced, &pool, params.budget as usize, params.seed)
         .map_err(measure_error)?;
-    let tuned = counting
+    let tuned = traced
         .try_measure(&run.best_predicted)
         .map_err(measure_error)?;
 
@@ -583,10 +669,16 @@ fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError>
             .metrics
             .cache_persist_failures
             .fetch_add(1, Ordering::Relaxed);
-        eprintln!("warning: cache persistence failed: {e}");
+        inner.tracer.warn(
+            "cache.persist-failed",
+            span.ctx(),
+            &format!("cache persistence failed: {e}"),
+            &[("endpoint", "tune".into())],
+        );
     }
     let runs_used = run.runs_used() as u64;
     let component_runs = run.component_runs.len() as u64;
+    span.field("runs_used", runs_used);
     Ok(Response::TuneResult {
         best: run.best_predicted,
         best_value: tuned.value,

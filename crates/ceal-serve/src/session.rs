@@ -31,6 +31,7 @@ use ceal_core::{
 };
 use ceal_ml::{Dataset, Regressor};
 use ceal_sim::{Objective, Platform, Simulator, WorkflowSpec};
+use ceal_trace::{Span, TraceContext, Tracer};
 use parking_lot::{Mutex, RwLock};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -212,6 +213,17 @@ impl Phase {
             Self::Done => "done",
         }
     }
+
+    /// Trace-span name for the time spent *in* this phase.
+    fn span_name(self) -> &'static str {
+        match self {
+            Self::Created => "phase.created",
+            Self::CollectingHistory => "phase.collecting-history",
+            Self::Bootstrapping => "phase.bootstrapping",
+            Self::Refining => "phase.refining",
+            Self::Done => "phase.done",
+        }
+    }
 }
 
 /// One live tuning campaign.
@@ -254,6 +266,17 @@ pub struct Session {
     /// Write-ahead journal of this campaign's paid-for measurements;
     /// `None` when the server runs without a journal directory.
     journal: Option<Journal>,
+    /// Campaign trace identifier (0 when the server is untraced). Exposed
+    /// on the wire via [`SessionStatus::trace`] so clients and fleet
+    /// workers can correlate their own events with this campaign.
+    trace: u64,
+    /// Root `session` span; its `End` (emitted when the session is closed,
+    /// evicted, or the server drops it) carries the campaign's lifetime.
+    root_span: Option<Span>,
+    /// Span of the phase the campaign is currently in; replaced at every
+    /// transition, so each phase's `End` carries that phase's duration.
+    phase_span: Option<Span>,
+    tracer: Tracer,
     last_touch: Instant,
 }
 
@@ -264,6 +287,7 @@ impl Session {
         failure_rate: f64,
         fault_seed: u64,
         platform: Platform,
+        tracer: Tracer,
     ) -> Session {
         let (spec, objective) = parse_params(&params).expect("params validated by caller");
         let sim = Simulator {
@@ -277,7 +301,18 @@ impl Session {
         let oracle = SimOracle::new(sim, spec, objective, ORACLE_BASE_SEED);
         let n0 = params.budget.div_ceil(5).max(2).min(params.budget);
         let budget = params.budget;
-        Session {
+        let trace = tracer.new_trace();
+        let root_span = if tracer.enabled() {
+            let mut span = tracer.span("session", TraceContext::root(trace));
+            span.field("session", id);
+            span.field("workflow", params.workflow.as_str());
+            span.field("algo", params.algo.as_str());
+            span.field("budget", budget);
+            Some(span)
+        } else {
+            None
+        };
+        let mut s = Session {
             id,
             params,
             oracle,
@@ -299,14 +334,60 @@ impl Session {
             fault_seed,
             attempt: 0,
             journal: None,
+            trace,
+            root_span,
+            phase_span: None,
+            tracer,
             last_touch: Instant::now(),
+        };
+        s.enter_phase(Phase::Created);
+        s
+    }
+
+    /// Moves the campaign into `phase`, rolling the phase span: the old
+    /// span's `End` (carrying the time spent in that phase) is emitted
+    /// before the new phase's `Begin`.
+    fn enter_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+        self.phase_span = None;
+        if self.tracer.enabled() {
+            let parent = self.root_span.as_ref().map(|s| s.id()).unwrap_or(0);
+            let mut span = self.tracer.span(
+                phase.span_name(),
+                TraceContext {
+                    trace: self.trace,
+                    span: parent,
+                },
+            );
+            span.field("session", self.id);
+            self.phase_span = Some(span);
+        }
+    }
+
+    /// Trace position for this campaign's child events: the current phase
+    /// span when one is open, else the session root.
+    fn trace_ctx(&self) -> TraceContext {
+        TraceContext {
+            trace: self.trace,
+            span: self
+                .phase_span
+                .as_ref()
+                .or(self.root_span.as_ref())
+                .map(|s| s.id())
+                .unwrap_or(0),
         }
     }
 
     /// Rebuilds a completed campaign from a cache entry: surrogate refitted
     /// from the cached samples, no oracle spend.
-    fn from_cache(id: u64, params: TuneParams, entry: &CacheEntry, platform: Platform) -> Session {
-        let mut s = Session::new(id, params, 0.0, 0, platform);
+    fn from_cache(
+        id: u64,
+        params: TuneParams,
+        entry: &CacheEntry,
+        platform: Platform,
+        tracer: Tracer,
+    ) -> Session {
+        let mut s = Session::new(id, params, 0.0, 0, platform, tracer);
         s.warm_source = "exact";
         s.measured = entry.samples.clone();
         for (cfg, _) in &s.measured {
@@ -323,7 +404,7 @@ impl Session {
             ));
         }
         s.best = Some((entry.best.clone(), entry.best_value));
-        s.phase = Phase::Done;
+        s.enter_phase(Phase::Done);
         s
     }
 
@@ -341,8 +422,9 @@ impl Session {
         fault_seed: u64,
         platform: Platform,
         hit: &TransferHit,
+        tracer: Tracer,
     ) -> Session {
-        let mut s = Session::new(id, params, failure_rate, fault_seed, platform);
+        let mut s = Session::new(id, params, failure_rate, fault_seed, platform, tracer);
         s.warm_source = "transfer";
         s.n0 = 0;
         s.prior = Some(TransferPrior::new(
@@ -364,6 +446,11 @@ impl Session {
             best: self.best.as_ref().map(|(c, _)| c.clone()),
             best_value: self.best.as_ref().map(|&(_, v)| v),
             warm_source: self.warm_source.to_string(),
+            trace: if self.trace == 0 {
+                String::new()
+            } else {
+                format!("{:016x}", self.trace)
+            },
         }
     }
 
@@ -379,12 +466,28 @@ impl Session {
         Ok(())
     }
 
-    /// Appends one record to the session journal (no-op without one).
+    /// Appends one record to the session journal (no-op without one),
+    /// recording the commit (including its fsync) as a `journal.commit`
+    /// trace event.
     fn journal_append(&mut self, record: &JournalRecord) -> Result<(), ServeError> {
+        let ctx = self.trace_ctx();
         match &mut self.journal {
-            Some(j) => j
-                .append(record)
-                .map_err(|e| ServeError::Internal(format!("journal append failed: {e}"))),
+            Some(j) => {
+                let start = Instant::now();
+                let result = j
+                    .append(record)
+                    .map_err(|e| ServeError::Internal(format!("journal append failed: {e}")));
+                self.tracer.instant(
+                    "journal.commit",
+                    ctx,
+                    &[
+                        ("session", self.id.into()),
+                        ("us", (start.elapsed().as_micros() as u64).into()),
+                        ("ok", u64::from(result.is_ok()).into()),
+                    ],
+                );
+                result
+            }
             None => Ok(()),
         }
     }
@@ -410,6 +513,11 @@ impl Session {
         self.attempt += 1;
         let attempt = self.attempt;
         let cfg = self.pool[idx].clone();
+        let mut span = self.tracer.span("oracle.measure", self.trace_ctx());
+        span.field("source", "local");
+        span.field("mode", "coupled");
+        span.field("session", self.id);
+        span.field("idx", idx as u64);
         let m = if self.failure_rate > 0.0 {
             let injector = FaultInjector::new(&self.oracle, self.failure_rate, self.fault_seed);
             let m = injector
@@ -422,6 +530,8 @@ impl Session {
                 .try_measure(&cfg)
                 .map_err(|e| ServeError::MeasurementFailed(e.to_string()))?
         };
+        span.field("value", m.value);
+        drop(span);
         // Write-ahead: the measurement is durable before the campaign
         // state advances, so a crash after this point re-bills nothing.
         self.journal_append(&JournalRecord::Coupled {
@@ -454,6 +564,15 @@ impl Session {
         let attempt = self.attempt;
         let cfg = self.pool[idx].clone();
         metrics.add_oracle_measurements(1);
+        self.tracer.instant(
+            "oracle.remote-applied",
+            self.trace_ctx(),
+            &[
+                ("session", self.id.into()),
+                ("idx", (idx as u64).into()),
+                ("value", value.into()),
+            ],
+        );
         self.journal_append(&JournalRecord::Coupled {
             config: cfg.clone(),
             value,
@@ -502,6 +621,7 @@ impl Session {
                 &self.params.workflow,
                 &self.params.objective,
                 ORACLE_BASE_SEED,
+                self.trace_ctx(),
             );
             let outcome = fleet.gather(batch);
             for (pool_idx, result) in outcome.results {
@@ -643,11 +763,11 @@ impl Session {
                 self.history
                     .merge(&collected)
                     .map_err(|e| ServeError::Internal(e.to_string()))?;
-                self.phase = Phase::CollectingHistory;
+                self.enter_phase(Phase::CollectingHistory);
             }
             Phase::CollectingHistory => {
                 self.journal_append(&JournalRecord::Marker("phase:bootstrapping".into()))?;
-                self.phase = Phase::Bootstrapping;
+                self.enter_phase(Phase::Bootstrapping);
                 return self.advance_with(runs, cache, metrics, fleet);
             }
             Phase::Bootstrapping => {
@@ -671,7 +791,7 @@ impl Session {
                 if self.measured.len() as u64 >= self.n0 || self.budget_left == 0 {
                     self.fit_and_score();
                     self.journal_append(&JournalRecord::Marker("phase:refining".into()))?;
-                    self.phase = Phase::Refining;
+                    self.enter_phase(Phase::Refining);
                 }
             }
             Phase::Refining => {
@@ -681,7 +801,7 @@ impl Session {
                 self.fit_and_score();
                 if self.budget_left == 0 {
                     self.journal_append(&JournalRecord::Marker("phase:done".into()))?;
-                    self.phase = Phase::Done;
+                    self.enter_phase(Phase::Done);
                     self.finish(cache, metrics);
                 }
             }
@@ -713,7 +833,12 @@ impl Session {
             metrics
                 .cache_persist_failures
                 .fetch_add(1, Ordering::Relaxed);
-            eprintln!("warning: cache persistence failed: {e}");
+            self.tracer.warn(
+                "cache.persist-failed",
+                self.trace_ctx(),
+                &format!("cache persistence failed: {e}"),
+                &[("session", self.id.into())],
+            );
         }
     }
 
@@ -815,7 +940,7 @@ impl Session {
                 }
             }
         }
-        self.phase = if !history_committed && self.measured.is_empty() {
+        let phase = if !history_committed && self.measured.is_empty() {
             Phase::Created
         } else if self.measured.is_empty() {
             Phase::CollectingHistory
@@ -829,6 +954,7 @@ impl Session {
                 Phase::Done
             }
         };
+        self.enter_phase(phase);
         Ok(())
     }
 
@@ -847,6 +973,8 @@ pub struct SessionManager {
     platform: Platform,
     /// Feature-distance bound for transfer-seeding near-miss lookups.
     transfer_threshold: f64,
+    /// Trace sink handed to every session this registry creates.
+    tracer: Tracer,
 }
 
 impl SessionManager {
@@ -860,7 +988,14 @@ impl SessionManager {
             journal_dir: None,
             platform: Platform::default(),
             transfer_threshold: DEFAULT_TRANSFER_THRESHOLD,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Sets the trace sink sessions record their campaign spans through.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Sets the platform sessions measure on (fingerprinted into their
@@ -921,7 +1056,12 @@ impl SessionManager {
                     metrics.sessions_rebuilt.fetch_add(1, Ordering::Relaxed);
                     rebuilt += 1;
                 }
-                Err(e) => eprintln!("warning: cannot rebuild session from {name}: {e}"),
+                Err(e) => self.tracer.warn(
+                    "session.rebuild-failed",
+                    TraceContext::NONE,
+                    &format!("cannot rebuild session from {name}: {e}"),
+                    &[("session", id.into())],
+                ),
             }
         }
         rebuilt
@@ -957,6 +1097,7 @@ impl SessionManager {
             cid.failure_rate,
             cid.fault_seed,
             self.platform.clone(),
+            self.tracer.clone(),
         );
         session.journal = Some(journal);
         session.replay(records.collect())?;
@@ -997,11 +1138,19 @@ impl SessionManager {
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let key = cache_key(&params, &self.platform, "session");
-        let (mut session, from_cache) = match cache.get(&key) {
+        let lookup_start = Instant::now();
+        let (hit, tier) = cache.get_with_tier(&key);
+        let (mut session, from_cache) = match hit {
             Some(entry) => {
                 metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
                 (
-                    Session::from_cache(id, params, &entry, self.platform.clone()),
+                    Session::from_cache(
+                        id,
+                        params,
+                        &entry,
+                        self.platform.clone(),
+                        self.tracer.clone(),
+                    ),
                     true,
                 )
             }
@@ -1027,15 +1176,34 @@ impl SessionManager {
                             fault_seed,
                             self.platform.clone(),
                             hit,
+                            self.tracer.clone(),
                         )
                     }
-                    None => {
-                        Session::new(id, params, failure_rate, fault_seed, self.platform.clone())
-                    }
+                    None => Session::new(
+                        id,
+                        params,
+                        failure_rate,
+                        fault_seed,
+                        self.platform.clone(),
+                        self.tracer.clone(),
+                    ),
                 };
                 (session, false)
             }
         };
+        // One lookup event per created session, naming both the store tier
+        // that answered (`front`/`disk`/`miss`) and the campaign tier the
+        // session starts in (`exact`/`transfer`/`cold`).
+        self.tracer.instant(
+            "cache.lookup",
+            TraceContext::root(session.trace),
+            &[
+                ("endpoint", "create-session".into()),
+                ("tier", tier.into()),
+                ("warm", session.warm_source.into()),
+                ("us", (lookup_start.elapsed().as_micros() as u64).into()),
+            ],
+        );
         // Warm-cache sessions spend nothing, so there is nothing worth
         // journaling; fresh campaigns get a write-ahead journal.
         if !from_cache {
@@ -1097,6 +1265,13 @@ impl SessionManager {
         metrics
             .sessions_evicted
             .fetch_add(evicted as u64, Ordering::Relaxed);
+        if evicted > 0 {
+            self.tracer.instant(
+                "session.evicted",
+                TraceContext::NONE,
+                &[("count", (evicted as u64).into())],
+            );
+        }
         evicted
     }
 }

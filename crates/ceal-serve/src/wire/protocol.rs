@@ -24,7 +24,15 @@ use serde::{Deserialize, Serialize};
 /// counters (`cache_lru_*`), `cache_persist_failures`, and
 /// `cache_transfer_seeded`. All additions are `#[serde(default)]`, so v3
 /// payloads still parse.
-pub const PROTOCOL_VERSION: u32 = 4;
+///
+/// v5: observability — [`SessionStatus`] gained `trace` (the campaign's
+/// 16-hex-digit trace id), [`EndpointStats`] gained HDR-histogram
+/// percentiles (`p50_us`/`p99_us`/`p999_us`), and
+/// [`ceal_fleet::TaskSpec`] gained `trace`/`span` so a scattered
+/// measurement carries its originating session's trace context through
+/// worker execution. All additions are `#[serde(default)]`, so v4
+/// payloads still parse.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Parameters shared by one-shot tuning and session creation.
 ///
@@ -163,6 +171,11 @@ pub struct SessionStatus {
     /// talking to a pre-v4 server.
     #[serde(default)]
     pub warm_source: String,
+    /// The campaign's trace identifier (16 hex digits), for correlating
+    /// this session's spans across the coordinator and fleet workers.
+    /// Empty when tracing is disabled or the server predates v5.
+    #[serde(default)]
+    pub trace: String,
 }
 
 /// Latency and error counters for one endpoint.
@@ -176,8 +189,21 @@ pub struct EndpointStats {
     pub errors: u64,
     /// Total handling time, microseconds.
     pub total_us: u64,
-    /// Latency histogram: `< 100µs, < 1ms, < 10ms, < 100ms, < 1s, ≥ 1s`.
+    /// Legacy coarse latency histogram: `< 100µs, < 1ms, < 10ms, < 100ms,
+    /// < 1s, ≥ 1s`. Since v5 this is collapsed from the HDR histogram, so
+    /// samples within one log-bucket (≤3.2 %) of a bound may land one
+    /// bucket high; prefer the percentile fields.
     pub buckets: Vec<u64>,
+    /// Median handling latency, microseconds (HDR estimate, ≤3.2 %
+    /// relative error). Zero when talking to a pre-v5 server.
+    #[serde(default)]
+    pub p50_us: u64,
+    /// 99th-percentile handling latency, microseconds.
+    #[serde(default)]
+    pub p99_us: u64,
+    /// 99.9th-percentile handling latency, microseconds.
+    #[serde(default)]
+    pub p999_us: u64,
 }
 
 /// The `metrics` endpoint's payload.
@@ -378,6 +404,7 @@ mod tests {
                 best: Some(vec![1, 2]),
                 best_value: Some(0.5),
                 warm_source: "cold".into(),
+                trace: "9f2c51aa03b7e4d1".into(),
             }),
             Response::Session(SessionStatus {
                 session: 2,
@@ -388,6 +415,7 @@ mod tests {
                 best: None,
                 best_value: None,
                 warm_source: "transfer".into(),
+                trace: String::new(),
             }),
             Response::WorkerRegistered {
                 worker: 4,
@@ -402,6 +430,8 @@ mod tests {
                     workflow: "LV".into(),
                     objective: "comp".into(),
                     oracle_seed: 2021,
+                    trace: 0x9f2c_51aa_03b7_e4d1,
+                    span: 7,
                 }],
             },
             Response::Error {
@@ -435,5 +465,31 @@ mod tests {
         assert_eq!(report.cache_persist_failures, 0);
         assert_eq!(report.cache_lru_hits, 0);
         assert_eq!(report.cache_transfer_seeded, 0);
+    }
+
+    #[test]
+    fn v4_payloads_without_trace_fields_still_parse() {
+        // A v4 server's SessionStatus has no trace id.
+        let status: SessionStatus = serde_json::from_str(
+            r#"{"session":1,"state":"done","budget_left":0,"measured":8,
+                "history_samples":12,"best":[1,2],"best_value":0.5,
+                "warm_source":"exact"}"#,
+        )
+        .unwrap();
+        assert_eq!(status.trace, "");
+        // Its EndpointStats has no HDR percentiles.
+        let stats: EndpointStats = serde_json::from_str(
+            r#"{"name":"ping","count":3,"errors":0,"total_us":120,
+                "buckets":[3,0,0,0,0,0]}"#,
+        )
+        .unwrap();
+        assert_eq!((stats.p50_us, stats.p99_us, stats.p999_us), (0, 0, 0));
+        // And its TaskSpec carries no trace context.
+        let task: TaskSpec = serde_json::from_str(
+            r#"{"task":9,"session":1,"config_index":0,"config":[1,2],
+                "workflow":"LV","objective":"comp","oracle_seed":2021}"#,
+        )
+        .unwrap();
+        assert_eq!((task.trace, task.span), (0, 0));
     }
 }

@@ -25,6 +25,7 @@ use crate::client::{Client, ClientError};
 use ceal_core::{RetryPolicy, SimOracle};
 use ceal_fleet::{TaskOutcome, TaskReport, TaskSpec};
 use ceal_sim::{Objective, Simulator};
+use ceal_trace::{TraceContext, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -44,6 +45,10 @@ pub struct WorkerConfig {
     /// Cooperative stop flag for embedded workers (tests, benches);
     /// `None` runs until the coordinator goes away.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Trace sink for `oracle.measure` spans. Each span is parented on the
+    /// trace/span the coordinator stamped into the [`TaskSpec`], so one
+    /// campaign yields one correlated trace across the whole fleet.
+    pub tracer: Tracer,
 }
 
 impl Default for WorkerConfig {
@@ -54,6 +59,7 @@ impl Default for WorkerConfig {
             poll_interval: Duration::from_millis(100),
             retry: RetryPolicy::default(),
             stop: None,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -163,11 +169,29 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<WorkerSummary, ClientError> {
                 // coordinator re-scatters it.
                 return Ok(summary);
             }
+            let mut span = cfg.tracer.span(
+                "oracle.measure",
+                TraceContext {
+                    trace: task.trace,
+                    span: task.span,
+                },
+            );
+            span.field("source", "worker");
+            span.field("task", task.task);
+            span.field("session", task.session);
+            span.field("idx", task.config_index);
             let outcome = execute(&mut oracles, task);
             match &outcome {
-                TaskOutcome::Measured { .. } => summary.executed += 1,
-                TaskOutcome::Failed { .. } => summary.failed += 1,
+                TaskOutcome::Measured { value, .. } => {
+                    summary.executed += 1;
+                    span.field("value", *value);
+                }
+                TaskOutcome::Failed { error } => {
+                    summary.failed += 1;
+                    span.field("error", error.as_str());
+                }
             }
+            drop(span);
             pending.push(TaskReport {
                 task: task.task,
                 outcome,
@@ -189,6 +213,8 @@ mod tests {
             workflow: "LV".into(),
             objective: "exec".into(),
             oracle_seed: crate::session::ORACLE_BASE_SEED,
+            trace: 0,
+            span: 0,
         }
     }
 

@@ -37,6 +37,7 @@ fn spawn_worker(addr: SocketAddr, name: &str, stop: Arc<AtomicBool>) -> JoinHand
         poll_interval: Duration::from_millis(5),
         retry: RetryPolicy::no_delay(3),
         stop: Some(stop),
+        tracer: ceal_trace::Tracer::disabled(),
     };
     std::thread::spawn(move || {
         // A crashed worker (armed chaos point) panics out of this closure;

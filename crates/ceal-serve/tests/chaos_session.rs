@@ -15,7 +15,10 @@
 #![cfg(feature = "chaos")]
 
 use ceal_core::{Journal, JournalRecord};
-use ceal_serve::{AutotuneCache, ServerMetrics, SessionManager, SessionStatus, TuneParams};
+use ceal_fleet::FleetReport;
+use ceal_serve::{
+    AutotuneCache, CacheStats, ServerMetrics, SessionManager, SessionStatus, TuneParams,
+};
 use ceal_testutil::{chaos, unique_temp_path};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -151,7 +154,9 @@ fn session_killed_mid_journal_write_rebuilds_and_spends_only_the_lost_budget() {
         .expect("journal dir");
     assert_eq!(mgr2.rebuild_from_disk(&metrics2), 1);
     assert_eq!(
-        metrics2.report(0).oracle_measurements,
+        metrics2
+            .report(0, &CacheStats::default(), FleetReport::default())
+            .oracle_measurements,
         0,
         "rebuilding must not touch the oracle"
     );
@@ -167,7 +172,9 @@ fn session_killed_mid_journal_write_rebuilds_and_spends_only_the_lost_budget() {
     assert_eq!(done.budget_left, 0);
     assert!(done.best.is_some() && done.best_value.is_some());
     assert_eq!(
-        metrics2.report(0).oracle_measurements,
+        metrics2
+            .report(0, &CacheStats::default(), FleetReport::default())
+            .oracle_measurements,
         BUDGET - committed,
         "the resumed run pays only for what the crash lost"
     );

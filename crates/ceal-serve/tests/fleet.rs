@@ -35,6 +35,7 @@ fn spawn_worker(
         poll_interval: Duration::from_millis(5),
         retry: RetryPolicy::no_delay(3),
         stop: Some(stop),
+        tracer: ceal_trace::Tracer::disabled(),
     };
     std::thread::spawn(move || run_worker(cfg))
 }

@@ -1,0 +1,160 @@
+//! Distributed tracing end-to-end: one fleet campaign — coordinator plus
+//! two measurement workers — must come out as a *single* correlated
+//! trace. Every worker-side oracle measurement carries the campaign's
+//! trace id (propagated through `TaskSpec` over the wire protocol) and
+//! parents on a coordinator-side `fleet.scatter` span, so a summarizer
+//! can attribute remote work to the originating session without joins.
+
+use ceal_core::RetryPolicy;
+use ceal_serve::protocol::SessionStatus;
+use ceal_serve::{run_worker, Client, ServeConfig, Server, TuneParams, WorkerConfig};
+use ceal_trace::{EventKind, Tracer};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn drive_to_done(client: &mut Client, session: u64, chunk: u64) -> SessionStatus {
+    let mut st = client.advance(session, chunk).unwrap();
+    for _ in 0..200 {
+        if st.state == "done" {
+            return st;
+        }
+        st = client.advance(session, chunk).unwrap();
+    }
+    panic!("campaign did not finish, stuck at {}", st.state);
+}
+
+#[test]
+fn fleet_campaign_yields_one_correlated_trace() {
+    // Workers run in-process, so server and workers can share one
+    // in-memory tracer — exactly what a single trace directory holds
+    // when the processes each write their own file into it.
+    let tracer = Tracer::in_memory();
+    let srv = Server::bind(ServeConfig {
+        tracer: tracer.clone(),
+        ..ServeConfig::default()
+    })
+    .unwrap()
+    .spawn();
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = ["tw1", "tw2"]
+        .iter()
+        .map(|name| {
+            let cfg = WorkerConfig {
+                coordinator: srv.addr().to_string(),
+                name: name.to_string(),
+                poll_interval: Duration::from_millis(5),
+                retry: RetryPolicy::no_delay(3),
+                stop: Some(Arc::clone(&stop)),
+                tracer: tracer.clone(),
+            };
+            std::thread::spawn(move || run_worker(cfg))
+        })
+        .collect();
+    let mut c = Client::connect(srv.addr()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while c.metrics().unwrap().fleet.live_workers < 2 {
+        assert!(Instant::now() < deadline, "workers never registered");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let (st, _) = c
+        .create_session(
+            TuneParams {
+                workflow: "LV".into(),
+                objective: "comp".into(),
+                budget: 12,
+                pool: 60,
+                seed: 9,
+                algo: "ceal".into(),
+            },
+            0.0,
+            0,
+        )
+        .unwrap();
+    assert_eq!(
+        st.trace.len(),
+        16,
+        "status must expose the campaign trace id, got {:?}",
+        st.trace
+    );
+    let campaign = u64::from_str_radix(&st.trace, 16).expect("trace id is 16-hex");
+    assert_ne!(campaign, 0);
+
+    let done = drive_to_done(&mut c, st.session, 5);
+    assert_eq!(
+        done.trace, st.trace,
+        "trace id is stable across the campaign"
+    );
+
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().unwrap().unwrap();
+    }
+    c.shutdown().unwrap();
+    srv.join().unwrap();
+
+    let events = tracer.drain_events();
+    assert_eq!(tracer.dropped(), 0, "ring must not have overflowed");
+
+    // Every campaign-side event — phases, scatters, oracle measurements
+    // on either side of the wire — carries the one campaign trace id.
+    let campaign_events: Vec<_> = events.iter().filter(|e| e.trace == campaign).collect();
+    let phase_ends: Vec<_> = campaign_events
+        .iter()
+        .filter(|e| e.kind == EventKind::End && e.name.starts_with("phase."))
+        .collect();
+    for phase in [
+        "phase.collecting-history",
+        "phase.bootstrapping",
+        "phase.refining",
+        "phase.done",
+    ] {
+        assert!(
+            phase_ends.iter().any(|e| e.name == phase),
+            "missing {phase} in the campaign trace"
+        );
+    }
+
+    let scatter_spans: HashSet<u64> = campaign_events
+        .iter()
+        .filter(|e| e.name == "fleet.scatter")
+        .map(|e| e.span)
+        .collect();
+    assert!(!scatter_spans.is_empty(), "campaign never scattered");
+
+    let worker_measures: Vec<_> = events
+        .iter()
+        .filter(|e| {
+            e.kind == EventKind::End
+                && e.name == "oracle.measure"
+                && e.fields
+                    .iter()
+                    .any(|(k, v)| *k == "source" && *v == ceal_trace::FieldValue::from("worker"))
+        })
+        .collect();
+    assert!(
+        !worker_measures.is_empty(),
+        "the fleet must have measured part of the campaign"
+    );
+    for m in &worker_measures {
+        assert_eq!(
+            m.trace, campaign,
+            "worker-side measurement lost the campaign trace id"
+        );
+        assert!(
+            scatter_spans.contains(&m.parent),
+            "worker measurement must parent on a fleet.scatter span, \
+             got parent {} (scatters: {scatter_spans:?})",
+            m.parent
+        );
+    }
+
+    // The correlation is non-trivial: request-level traces exist too and
+    // are distinct from the campaign trace.
+    assert!(
+        events.iter().any(|e| e.trace != 0 && e.trace != campaign),
+        "request traces should be minted separately"
+    );
+}

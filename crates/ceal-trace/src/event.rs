@@ -1,0 +1,263 @@
+//! The typed trace event and its JSON Lines encoding.
+//!
+//! One event per line, fixed top-level keys so any JSON parser (and the
+//! `trace` CLI) can read a stream without a schema:
+//!
+//! ```json
+//! {"ts_us":1759970000123456,"kind":"E","name":"oracle.measure",
+//!  "trace":"9f2c51aa03b7e4d1","span":7,"parent":3,"dur_us":412,
+//!  "f":{"idx":17,"source":"worker"}}
+//! ```
+//!
+//! `ts_us` is wall-clock microseconds (monotonic elapsed added to a base
+//! captured once per tracer, so intra-process deltas never go backwards);
+//! `trace` is a 16-hex-digit campaign/request identifier; `span`/`parent`
+//! link the span tree (`parent == 0` marks a root). `dur_us` is only
+//! meaningful on `End` events. `f` holds the event's typed fields and is
+//! omitted when empty.
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (`"B"`).
+    Begin,
+    /// A span closed; `dur_us` holds its duration (`"E"`).
+    End,
+    /// A point-in-time event (`"I"`).
+    Instant,
+    /// A warning; also mirrored to stderr by the tracer (`"W"`).
+    Warn,
+}
+
+impl EventKind {
+    /// The single-letter wire code.
+    pub fn code(self) -> &'static str {
+        match self {
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Instant => "I",
+            EventKind::Warn => "W",
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float; non-finite values encode as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured trace event; see the module docs for the wire layout.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Wall-clock microseconds (tracer base + monotonic elapsed).
+    pub ts_us: u64,
+    /// Begin/End/Instant/Warn.
+    pub kind: EventKind,
+    /// Event name, kebab/dot-case (`"request.ping"`, `"phase.refining"`).
+    pub name: &'static str,
+    /// Campaign or request trace identifier; 0 = untraced.
+    pub trace: u64,
+    /// This event's span identifier (0 for instants outside any span).
+    pub span: u64,
+    /// Parent span identifier; 0 = root.
+    pub parent: u64,
+    /// Span duration in microseconds; only set on [`EventKind::End`].
+    pub dur_us: u64,
+    /// Typed key/value payload.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Encodes the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96 + self.fields.len() * 24);
+        out.push_str("{\"ts_us\":");
+        push_u64(&mut out, self.ts_us);
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.code());
+        out.push_str("\",\"name\":\"");
+        escape_into(&mut out, self.name);
+        out.push_str("\",\"trace\":\"");
+        push_hex16(&mut out, self.trace);
+        out.push_str("\",\"span\":");
+        push_u64(&mut out, self.span);
+        out.push_str(",\"parent\":");
+        push_u64(&mut out, self.parent);
+        out.push_str(",\"dur_us\":");
+        push_u64(&mut out, self.dur_us);
+        if !self.fields.is_empty() {
+            out.push_str(",\"f\":{");
+            for (i, (key, value)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_into(&mut out, key);
+                out.push_str("\":");
+                match value {
+                    FieldValue::U64(v) => push_u64(&mut out, *v),
+                    FieldValue::I64(v) => out.push_str(&v.to_string()),
+                    FieldValue::F64(v) if v.is_finite() => out.push_str(&v.to_string()),
+                    FieldValue::F64(_) => out.push_str("null"),
+                    FieldValue::Str(s) => {
+                        out.push('"');
+                        escape_into(&mut out, s);
+                        out.push('"');
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn push_u64(out: &mut String, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).unwrap());
+}
+
+fn push_hex16(out: &mut String, v: u64) {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    for shift in (0..16).rev() {
+        out.push(HEX[((v >> (shift * 4)) & 0xf) as usize] as char);
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_layout_is_stable() {
+        let ev = TraceEvent {
+            ts_us: 12,
+            kind: EventKind::End,
+            name: "oracle.measure",
+            trace: 0x9f2c_51aa_03b7_e4d1,
+            span: 7,
+            parent: 3,
+            dur_us: 412,
+            fields: vec![("idx", 17u64.into()), ("source", "worker".into())],
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"ts_us\":12,\"kind\":\"E\",\"name\":\"oracle.measure\",\
+             \"trace\":\"9f2c51aa03b7e4d1\",\"span\":7,\"parent\":3,\"dur_us\":412,\
+             \"f\":{\"idx\":17,\"source\":\"worker\"}}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped_and_empty_fields_omitted() {
+        let ev = TraceEvent {
+            ts_us: 0,
+            kind: EventKind::Warn,
+            name: "cache.persist-failed",
+            trace: 0,
+            span: 0,
+            parent: 0,
+            dur_us: 0,
+            fields: vec![("msg", "a \"quoted\"\npath\\x".into())],
+        };
+        let json = ev.to_json();
+        assert!(json.contains("a \\\"quoted\\\"\\npath\\\\x"), "{json}");
+        let bare = TraceEvent {
+            fields: vec![],
+            ..ev
+        };
+        assert!(!bare.to_json().contains("\"f\""));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let ev = TraceEvent {
+            ts_us: 0,
+            kind: EventKind::Instant,
+            name: "x",
+            trace: 0,
+            span: 0,
+            parent: 0,
+            dur_us: 0,
+            fields: vec![("v", f64::NAN.into())],
+        };
+        assert!(ev.to_json().contains("\"v\":null"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Lock-free bounded MPMC ring buffer (Vyukov's bounded queue).
+//!
+//! Producers are request-handling threads; the single consumer is the
+//! flusher. Pushes never block: when the ring is full the element is
+//! rejected and the caller counts it as dropped. Each slot carries a
+//! sequence number that encodes whether it is free for the producer at a
+//! given position (`seq == pos`) or holds a value for the consumer
+//! (`seq == pos + 1`); claiming a position is a single CAS on the shared
+//! head/tail counter, and publishing is a release store on the slot's
+//! sequence — no locks anywhere.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free queue; capacity is rounded up to a power of two.
+pub struct Ring<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at least `capacity` elements (min 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            slots,
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Pushes without blocking; `false` (and a `dropped` tick) when full.
+    pub fn push(&self, value: T) -> bool {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pops the oldest element, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(
+                            pos.wrapping_add(self.mask).wrapping_add(1),
+                            Ordering::Release,
+                        );
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let ring = Ring::with_capacity(8);
+        for i in 0..8 {
+            assert!(ring.push(i));
+        }
+        assert!(!ring.push(99), "9th push into a full ring must be rejected");
+        assert_eq!(ring.dropped(), 1);
+        for i in 0..8 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_below_capacity() {
+        let ring = Arc::new(Ring::with_capacity(16_384));
+        let producers = 8u64;
+        let per = 1_000u64;
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    for i in 0..per {
+                        assert!(ring.push(p * per + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = ring.pop() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        let expect: Vec<u64> = (0..producers * per).collect();
+        assert_eq!(got, expect);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_are_counted_and_queue_recovers() {
+        let ring = Ring::with_capacity(4);
+        for i in 0..4 {
+            assert!(ring.push(i));
+        }
+        for _ in 0..3 {
+            assert!(!ring.push(0));
+        }
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(ring.pop(), Some(0));
+        assert!(ring.push(42), "freed slot must be reusable");
+    }
+}

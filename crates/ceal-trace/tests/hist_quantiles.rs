@@ -1,0 +1,94 @@
+//! Property test: HDR-histogram p50/p99/p999 stay within one sub-bucket's
+//! relative error of the exact nearest-rank percentiles, across random
+//! latency distributions (uniform, exponential-ish, bimodal, heavy-tail).
+
+use ceal_trace::hist::{LogHistogram, MAX_RELATIVE_ERROR};
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(rng: &mut u64) -> f64 {
+    (splitmix64(rng) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Exact nearest-rank percentile over a sorted sample.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn check_distribution(name: &str, samples: &[u64]) {
+    let hist = LogHistogram::new();
+    for &v in samples {
+        hist.record(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    for &q in &[0.5, 0.99, 0.999] {
+        let exact = exact_percentile(&sorted, q);
+        let est = hist.quantile(q);
+        // The estimator reports the top of the bucket holding the exact
+        // order statistic, so it can sit up to one sub-bucket above and
+        // never more than one below (plus 1 µs of integer slack at the
+        // small end).
+        let tol = exact as f64 * 2.0 * MAX_RELATIVE_ERROR + 1.0;
+        assert!(
+            (est as f64 - exact as f64).abs() <= tol,
+            "{name} q={q}: est={est} exact={exact} tol={tol}"
+        );
+    }
+}
+
+#[test]
+fn quantiles_track_exact_percentiles_across_distributions() {
+    let mut rng = 0x5eed_2021u64;
+    for round in 0..20 {
+        let n = 500 + (splitmix64(&mut rng) % 4_500) as usize;
+
+        let uniform: Vec<u64> = (0..n)
+            .map(|_| 1 + (splitmix64(&mut rng) % 1_000_000))
+            .collect();
+        check_distribution(&format!("uniform[{round}]"), &uniform);
+
+        let expo: Vec<u64> = (0..n)
+            .map(|_| {
+                let u = unit(&mut rng).max(1e-12);
+                (-u.ln() * 5_000.0) as u64 + 1
+            })
+            .collect();
+        check_distribution(&format!("exponential[{round}]"), &expo);
+
+        let bimodal: Vec<u64> = (0..n)
+            .map(|_| {
+                if splitmix64(&mut rng) % 10 < 9 {
+                    50 + splitmix64(&mut rng) % 200
+                } else {
+                    800_000 + splitmix64(&mut rng) % 400_000
+                }
+            })
+            .collect();
+        check_distribution(&format!("bimodal[{round}]"), &bimodal);
+
+        let heavy: Vec<u64> = (0..n)
+            .map(|_| {
+                let u = unit(&mut rng).max(1e-9);
+                (100.0 / u.powf(0.7)) as u64
+            })
+            .collect();
+        check_distribution(&format!("heavy-tail[{round}]"), &heavy);
+    }
+}
+
+#[test]
+fn tiny_samples_are_still_bounded() {
+    let mut rng = 7u64;
+    for n in 1..=32 {
+        let samples: Vec<u64> = (0..n).map(|_| splitmix64(&mut rng) % 10_000).collect();
+        check_distribution(&format!("tiny[{n}]"), &samples);
+    }
+}
