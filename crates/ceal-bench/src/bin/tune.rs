@@ -3,7 +3,7 @@
 //! ```text
 //! tune --workflow LV --objective comp --budget 50 [--algo ceal|al|rs|geist|bo|rl]
 //!      [--pool 2000] [--seed 0] [--history path.json] [--save-history path.json]
-//!      [--remote HOST:PORT] [--journal run.wal [--resume]]
+//!      [--remote HOST:PORT [--retry N]] [--journal run.wal [--resume]]
 //!      [--failure-rate P [--max-attempts N]]
 //! ```
 //!
@@ -40,6 +40,7 @@ struct Args {
     history: Option<String>,
     save_history: Option<String>,
     remote: Option<String>,
+    retry: u32,
     journal: Option<String>,
     resume: bool,
     failure_rate: f64,
@@ -50,7 +51,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: tune --workflow LV|HS|GP [--objective exec|comp] [--budget N] \
          [--algo ceal|al|rs|geist|alph|bo|rl] [--pool N] [--seed N] \
-         [--history file.json] [--save-history file.json] [--remote HOST:PORT] \
+         [--history file.json] [--save-history file.json] [--remote HOST:PORT [--retry N]] \
          [--journal file.wal [--resume]] [--failure-rate P [--max-attempts N]]"
     );
     std::process::exit(2);
@@ -67,6 +68,7 @@ fn parse() -> Args {
         history: None,
         save_history: None,
         remote: None,
+        retry: 0,
         journal: None,
         resume: false,
         failure_rate: 0.0,
@@ -91,6 +93,7 @@ fn parse() -> Args {
             "--history" => args.history = Some(val()),
             "--save-history" => args.save_history = Some(val()),
             "--remote" => args.remote = Some(val()),
+            "--retry" => args.retry = val().parse().unwrap_or_else(|_| usage()),
             "--journal" => args.journal = Some(val()),
             "--resume" => args.resume = true,
             "--failure-rate" => args.failure_rate = val().parse().unwrap_or_else(|_| usage()),
@@ -103,6 +106,10 @@ fn parse() -> Args {
     }
     if !(0.0..1.0).contains(&args.failure_rate) || args.max_attempts == 0 {
         usage();
+    }
+    if args.retry > 0 && args.remote.is_none() {
+        eprintln!("--retry only applies with --remote");
+        std::process::exit(2);
     }
     args
 }
@@ -296,8 +303,20 @@ fn tune_remote(addr: &str, spec: &ceal_sim::WorkflowSpec, args: &Args) {
         "tuning {} for {} with {} ({} run budget, pool {}) via {addr}",
         spec.name, args.objective, args.algo, args.budget, args.pool
     );
-    let mut client = ceal_serve::Client::connect(addr)
-        .unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"));
+    // With `--retry N` the client rides out transport failures and
+    // honors the server's `Busy` retry hints instead of failing fast —
+    // the right mode when the server may be restarting or shedding load.
+    let mut client = if args.retry > 0 {
+        let policy = ceal_core::RetryPolicy {
+            max_attempts: args.retry,
+            ..ceal_core::RetryPolicy::default()
+        };
+        ceal_serve::Client::connect_with_retry(addr, policy)
+            .unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"))
+    } else {
+        ceal_serve::Client::connect(addr)
+            .unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"))
+    };
     let t0 = std::time::Instant::now();
     let outcome = client
         .tune(ceal_serve::TuneParams {

@@ -234,6 +234,14 @@ impl AutotuneCache {
         })
     }
 
+    /// Inserts (or replaces) a campaign in the in-memory front only,
+    /// skipping disk entirely. The cache-persist circuit breaker uses this
+    /// while open: a known-bad disk isn't retried per campaign, but the
+    /// result still serves from memory for this process's lifetime.
+    pub fn put_memory_only(&self, entry: CacheEntry) {
+        self.front.lock().insert(entry);
+    }
+
     /// Nearest sibling campaign usable as a transfer seed: same workflow
     /// and objective as `key`, different platform, feature distance to
     /// `features` within `threshold`. Scans the workflow's shard (one

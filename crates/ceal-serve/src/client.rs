@@ -18,11 +18,11 @@
 
 use crate::frame::{read_message, write_message, FrameError};
 use crate::protocol::{
-    MetricsReport, Request, Response, SessionStatus, TuneParams, PROTOCOL_VERSION,
+    HealthReport, MetricsReport, Request, Response, SessionStatus, TuneParams, PROTOCOL_VERSION,
 };
 use ceal_core::RetryPolicy;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Socket write-timeout granularity; each tick lets the frame writer
 /// check its overall stall deadline.
@@ -43,6 +43,15 @@ pub enum ClientError {
     },
     /// The server answered with a response of the wrong shape.
     UnexpectedResponse(String),
+    /// The server shed the request under load and suggested a pause.
+    ///
+    /// Retrying clients honor `retry_after_ms` automatically (capped
+    /// against their policy's deadline); plain clients see this typed
+    /// error and can decide when to come back.
+    Overloaded {
+        /// Server's suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// Every attempt allowed by the retry policy failed at the transport
     /// level.
     RetriesExhausted {
@@ -61,6 +70,9 @@ impl std::fmt::Display for ClientError {
             Self::Transport(e) => write!(f, "transport error: {e}"),
             Self::Server { code, message } => write!(f, "server error [{code}]: {message}"),
             Self::UnexpectedResponse(got) => write!(f, "unexpected response: {got}"),
+            Self::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
+            }
             Self::RetriesExhausted {
                 attempts,
                 deadline_exceeded,
@@ -204,18 +216,44 @@ impl Client {
         let Some((addr, policy)) = self.reconnect.clone() else {
             return self.request_once(req);
         };
+        let started = Instant::now();
+        // A Busy answer leaves the connection healthy; only transport
+        // failures warrant tearing it down and reopening.
+        let mut need_reconnect = false;
         let result = policy.run(|attempt| {
-            if attempt > 1 {
+            if attempt > 1 && need_reconnect {
                 let fresh = Self::open_stream(&addr)?;
                 fresh
                     .set_read_timeout(self.timeout)
                     .map_err(FrameError::Io)?;
                 self.stream = fresh;
             }
+            need_reconnect = false;
             match self.request_once(req) {
                 // Only transport failures are worth a reconnect; anything
                 // else is a delivered answer, smuggled out as terminal.
-                Err(e @ ClientError::Transport(_)) => Err(e),
+                Err(e @ ClientError::Transport(_)) => {
+                    need_reconnect = true;
+                    Err(e)
+                }
+                // The server shed us: honor its hint before the next
+                // attempt, never sleeping past the policy's deadline.
+                Err(ClientError::Overloaded { retry_after_ms }) => {
+                    let mut wait = Duration::from_millis(retry_after_ms);
+                    if let Some(deadline) = policy.deadline {
+                        let remaining = deadline.saturating_sub(started.elapsed());
+                        if remaining.is_zero() {
+                            return Ok(Err(ClientError::RetriesExhausted {
+                                attempts: attempt,
+                                deadline_exceeded: true,
+                                last: Box::new(ClientError::Overloaded { retry_after_ms }),
+                            }));
+                        }
+                        wait = wait.min(remaining);
+                    }
+                    std::thread::sleep(wait);
+                    Err(ClientError::Overloaded { retry_after_ms })
+                }
                 terminal => Ok(terminal),
             }
         });
@@ -230,6 +268,7 @@ impl Client {
         let resp: Response = read_message(&mut self.stream)?;
         match resp {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Busy { retry_after_ms } => Err(ClientError::Overloaded { retry_after_ms }),
             other => Ok(other),
         }
     }
@@ -340,6 +379,16 @@ impl Client {
     pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
         match self.request(&Request::CloseSession { session })? {
             Response::Ok => Ok(()),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the server's load and degradation snapshot. Health is
+    /// shed-exempt, so this answers even while the server is refusing
+    /// regular traffic.
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        match self.request(&Request::Health)? {
+            Response::Health(report) => Ok(report),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }
     }

@@ -46,6 +46,7 @@
 //! handle.join().unwrap();
 //! ```
 
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod metrics;
@@ -59,6 +60,7 @@ pub mod worker;
 pub use wire::frame;
 pub use wire::protocol;
 
+pub use breaker::{Breakers, CircuitBreaker};
 pub use cache::{
     bundle_from_json, bundle_to_json, feature_distance, platform_features, platform_fingerprint,
     AutotuneCache, CacheEntry, CacheKey, CacheStats, TransferHit, DEFAULT_LRU_CAPACITY,
@@ -68,9 +70,10 @@ pub use client::{Client, ClientError, TuneOutcome};
 pub use frame::{
     read_frame, write_frame, write_frame_limited, FrameError, MAX_FRAME_LEN, MAX_MID_FRAME_STALL,
 };
-pub use metrics::{CountingOracle, Endpoint, ServerMetrics};
+pub use metrics::{CountingOracle, Endpoint, OverloadStats, ServerMetrics};
 pub use protocol::{
-    EndpointStats, MetricsReport, Request, Response, SessionStatus, TuneParams, PROTOCOL_VERSION,
+    BreakerStatus, EndpointStats, HealthReport, MetricsReport, Request, Response, SessionStatus,
+    TuneParams, PROTOCOL_VERSION,
 };
 #[cfg(target_os = "linux")]
 pub use reactor::sys::{raise_nofile_limit, set_recv_buffer_fd, set_send_buffer_fd};

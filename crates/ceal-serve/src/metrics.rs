@@ -20,7 +20,7 @@ use std::time::Duration;
 const BUCKET_BOUNDS_US: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
 
 /// Endpoint names, indexed by [`Endpoint`]'s discriminant.
-const ENDPOINT_NAMES: [&str; 13] = [
+const ENDPOINT_NAMES: [&str; 14] = [
     "ping",
     "tune",
     "create-session",
@@ -34,6 +34,7 @@ const ENDPOINT_NAMES: [&str; 13] = [
     "register-worker",
     "heartbeat",
     "task-result",
+    "health",
 ];
 
 /// The service's endpoints, for metrics attribution.
@@ -65,6 +66,8 @@ pub enum Endpoint {
     Heartbeat = 11,
     /// `TaskResult`.
     TaskResult = 12,
+    /// `Health`.
+    Health = 13,
 }
 
 #[derive(Default)]
@@ -78,7 +81,7 @@ struct EndpointCounters {
 /// All service counters; shared across workers via `Arc`.
 #[derive(Default)]
 pub struct ServerMetrics {
-    endpoints: [EndpointCounters; 13],
+    endpoints: [EndpointCounters; 14],
     /// Oracle measurements spent (coupled + solo), across all requests.
     pub oracle_measurements: AtomicU64,
     /// Requests answered from the persistent cache.
@@ -97,6 +100,24 @@ pub struct ServerMetrics {
     /// Sessions whose bootstrap was seeded from a sibling platform's
     /// cached campaign (a near-miss transfer hit).
     pub cache_transfer_seeded: AtomicU64,
+}
+
+/// Overload-protection counters for the metrics overlay, snapshotted by
+/// the serve core from its admission/breaker state. A required input to
+/// [`ServerMetrics::report`] for the same reason the cache and fleet
+/// sections are: callers cannot forget it and silently report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverloadStats {
+    /// Requests answered with `Busy` because the dispatch queue crossed
+    /// its high watermark.
+    pub requests_shed: u64,
+    /// Connections refused at accept because the live-connection cap was
+    /// reached.
+    pub connections_rejected: u64,
+    /// Times the oracle-measurement breaker opened.
+    pub oracle_breaker_opens: u64,
+    /// Times the cache-persist breaker opened.
+    pub cache_breaker_opens: u64,
 }
 
 impl ServerMetrics {
@@ -134,6 +155,7 @@ impl ServerMetrics {
         active_sessions: u64,
         cache: &CacheStats,
         fleet: FleetReport,
+        overload: OverloadStats,
     ) -> MetricsReport {
         let endpoints = self
             .endpoints
@@ -167,6 +189,10 @@ impl ServerMetrics {
             cache_lru_len: cache.lru_len,
             active_sessions,
             fleet,
+            requests_shed: overload.requests_shed,
+            connections_rejected: overload.connections_rejected,
+            oracle_breaker_opens: overload.oracle_breaker_opens,
+            cache_breaker_opens: overload.cache_breaker_opens,
         }
     }
 }
@@ -285,7 +311,12 @@ mod tests {
     use super::*;
 
     fn bare_report(m: &ServerMetrics, active: u64) -> MetricsReport {
-        m.report(active, &CacheStats::default(), FleetReport::default())
+        m.report(
+            active,
+            &CacheStats::default(),
+            FleetReport::default(),
+            OverloadStats::default(),
+        )
     }
 
     #[test]
@@ -356,12 +387,22 @@ mod tests {
             tasks_dispatched: 9,
             ..FleetReport::default()
         };
-        let report = m.report(1, &cache, fleet);
+        let overload = OverloadStats {
+            requests_shed: 11,
+            connections_rejected: 4,
+            oracle_breaker_opens: 1,
+            cache_breaker_opens: 2,
+        };
+        let report = m.report(1, &cache, fleet, overload);
         assert_eq!(report.cache_lru_hits, 7);
         assert_eq!(report.cache_lru_misses, 3);
         assert_eq!(report.cache_lru_evictions, 2);
         assert_eq!(report.cache_lru_len, 5);
         assert_eq!(report.fleet.live_workers, 2);
         assert_eq!(report.fleet.tasks_dispatched, 9);
+        assert_eq!(report.requests_shed, 11);
+        assert_eq!(report.connections_rejected, 4);
+        assert_eq!(report.oracle_breaker_opens, 1);
+        assert_eq!(report.cache_breaker_opens, 2);
     }
 }

@@ -31,7 +31,7 @@ pub mod timer;
 use crate::frame::FrameError;
 use crate::metrics::Endpoint;
 use crate::protocol::{Request, Response};
-use crate::server::{dispatch, endpoint_of, ServerInner};
+use crate::server::{dispatch, endpoint_of, exempt_payload, reject_connection, ServerInner};
 use conn::{Conn, ConnState, ReadOutcome, WriteOutcome};
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -84,16 +84,24 @@ struct Completions {
 
 impl Completions {
     fn push(&self, c: Completion) {
+        // A poisoned queue means some worker panicked while holding the
+        // lock; the Vec inside is still structurally sound, and dropping
+        // this completion would wedge its connection forever — recover.
         self.queue
             .lock()
-            .expect("completion queue poisoned")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .push(c);
         self.notify.wake();
     }
 
     fn drain(&self) -> Vec<Completion> {
         self.notify.drain();
-        std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
+        std::mem::take(
+            &mut *self
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
     }
 }
 
@@ -174,12 +182,17 @@ impl Slab {
 
 /// Serializes `resp` as one ready-to-send frame (length prefix + JSON).
 fn encode_frame(resp: &Response) -> Vec<u8> {
-    let json = serde_json::to_vec(resp).unwrap_or_else(|e| {
+    let json = serde_json::to_vec(resp).unwrap_or_else(|_| {
+        // Fall back to a pre-baked error body rather than panicking the
+        // worker: even if serde somehow fails on the fallback too, the
+        // peer still gets a well-formed frame.
         serde_json::to_vec(&Response::Error {
             code: "internal".into(),
-            message: format!("response serialization failed: {e}"),
+            message: "response serialization failed".into(),
         })
-        .expect("error frame serializes")
+        .unwrap_or_else(|_| {
+            br#"{"Error":{"code":"internal","message":"response serialization failed"}}"#.to_vec()
+        })
     });
     let mut framed = Vec::with_capacity(4 + json.len());
     framed.extend_from_slice(&(json.len() as u32).to_be_bytes());
@@ -234,6 +247,13 @@ fn handle_request(
             )
         }
     };
+    // Paired with `begin_dispatch` at submission time in `pump_reading`;
+    // runs unconditionally so decode errors and panics also drain the
+    // in-flight gauge. Must precede the push: once the completion is
+    // visible the reactor may answer and take this connection's next
+    // request, and that request's shed decision has to see the gauge
+    // already drained.
+    inner.load.end_dispatch();
     completions.push(Completion {
         index,
         gen,
@@ -278,6 +298,7 @@ impl Reactor {
     fn close_conn(&mut self, index: usize) {
         if let Some(conn) = self.conns.remove(index) {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.inner.load.release_conn();
         }
     }
 
@@ -310,7 +331,16 @@ impl Reactor {
             };
             match accepted {
                 Ok((stream, _)) => {
-                    let _ = self.register(stream);
+                    if !self.inner.load.try_admit_conn() {
+                        // Accepted sockets don't inherit the listener's
+                        // O_NONBLOCK, so the best-effort Busy write below
+                        // runs with a short blocking timeout.
+                        reject_connection(stream, &self.inner);
+                        continue;
+                    }
+                    if self.register(stream).is_err() {
+                        self.inner.load.release_conn();
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -396,11 +426,32 @@ impl Reactor {
             }
             ReadOutcome::Frame(payload) => {
                 let arrived = Instant::now();
+                let (shedding, transition) = self.inner.load.shed_decision();
+                self.inner.note_shed_transition(transition);
+                if shedding && !exempt_payload(&payload) {
+                    // Overloaded: answer with a typed Busy instead of
+                    // queueing the request; the connection stays open and
+                    // returns to Reading once the frame flushes.
+                    self.inner
+                        .load
+                        .requests_shed
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let busy = Response::Busy {
+                        retry_after_ms: self.inner.load.retry_after_ms(),
+                    };
+                    if let Some(conn) = self.conns.get(index, gen) {
+                        conn.stall_deadline = None;
+                        conn.start_write(encode_frame(&busy));
+                    }
+                    self.pump_writing(index, gen, now);
+                    return;
+                }
                 if let Some(conn) = self.conns.get(index, gen) {
                     conn.stall_deadline = None;
                     conn.state = ConnState::Dispatching;
                 }
                 self.refresh_interest(index, gen);
+                self.inner.load.begin_dispatch();
                 let inner = Arc::clone(&self.inner);
                 let completions = Arc::clone(&self.completions);
                 self.pool.execute_tracked(&self.wg, move || {

@@ -17,14 +17,15 @@
 //! and [`Server::run`] returns only after every in-flight connection
 //! drains.
 
+use crate::breaker::Breakers;
 use crate::cache::{
     platform_features, AutotuneCache, CacheEntry, DEFAULT_LRU_CAPACITY, DEFAULT_TRANSFER_THRESHOLD,
 };
 use crate::frame::{
     is_idle_timeout, read_message, write_message_limited, FrameError, MAX_MID_FRAME_STALL,
 };
-use crate::metrics::{CountingOracle, Endpoint, ServerMetrics, TracingOracle};
-use crate::protocol::{Request, Response, TuneParams, PROTOCOL_VERSION};
+use crate::metrics::{CountingOracle, Endpoint, OverloadStats, ServerMetrics, TracingOracle};
+use crate::protocol::{HealthReport, Request, Response, TuneParams, PROTOCOL_VERSION};
 use crate::session::{
     cache_key, parse_params, ServeError, Session, SessionManager, ORACLE_BASE_SEED,
 };
@@ -39,7 +40,7 @@ use rand_chacha::ChaCha8Rng;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -93,6 +94,17 @@ pub struct ServeConfig {
     /// by default (every trace call reduces to one branch); tests inject
     /// [`Tracer::in_memory`] here to assert on events.
     pub tracer: Tracer,
+    /// Admission cap: connections beyond this are answered with one
+    /// `Busy` frame and closed, instead of marching toward fd exhaustion.
+    pub max_connections: usize,
+    /// Dispatch-queue high watermark: once this many requests are queued
+    /// or executing on the worker pool, sheddable requests get `Busy`.
+    /// `0` picks a default scaled to the worker count.
+    pub dispatch_high_watermark: usize,
+    /// Dispatch-queue low watermark: shedding stops once the in-flight
+    /// count falls back here (hysteresis, so the server doesn't flap).
+    /// `0` picks half the high watermark.
+    pub dispatch_low_watermark: usize,
 }
 
 impl Default for ServeConfig {
@@ -113,12 +125,125 @@ impl Default for ServeConfig {
             worker_lease: Duration::from_millis(1500),
             trace_dir: None,
             tracer: Tracer::disabled(),
+            max_connections: 16_384,
+            dispatch_high_watermark: 0,
+            dispatch_low_watermark: 0,
         }
     }
 }
 
 /// How often an idle connection wakes up to check the shutdown flag.
 const IDLE_TICK: Duration = Duration::from_millis(200);
+
+/// Admission control and load shedding, shared by both serve cores.
+///
+/// Two independent limits: a hard cap on live connections (enforced at
+/// accept, so the fd table stays bounded) and a high/low watermark pair on
+/// the dispatch queue (enforced per request, with hysteresis so shedding
+/// doesn't flap around the threshold). Exempt requests — cheap control
+/// traffic like `Ping`, `Health`, and fleet heartbeats — are never shed;
+/// see [`exempt_request`].
+pub(crate) struct LoadControl {
+    /// Hard cap on admitted connections.
+    pub(crate) max_connections: usize,
+    /// Shedding starts once in-flight dispatches reach this.
+    pub(crate) high: usize,
+    /// Shedding stops once in-flight dispatches fall back to this.
+    pub(crate) low: usize,
+    live_conns: AtomicUsize,
+    in_flight: AtomicUsize,
+    shedding: AtomicBool,
+    /// Requests answered with `Busy`.
+    pub(crate) requests_shed: AtomicU64,
+    /// Connections refused at accept.
+    pub(crate) connections_rejected: AtomicU64,
+}
+
+impl LoadControl {
+    pub(crate) fn new(max_connections: usize, high: usize, low: usize) -> LoadControl {
+        let high = high.max(1);
+        LoadControl {
+            max_connections: max_connections.max(1),
+            high,
+            low: low.min(high.saturating_sub(1)),
+            live_conns: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            shedding: AtomicBool::new(false),
+            requests_shed: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to admit a new connection; a `false` return has already been
+    /// counted as rejected.
+    pub(crate) fn try_admit_conn(&self) -> bool {
+        let prev = self.live_conns.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.max_connections {
+            self.live_conns.fetch_sub(1, Ordering::AcqRel);
+            self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    pub(crate) fn release_conn(&self) {
+        self.live_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn live_conns(&self) -> usize {
+        self.live_conns.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn begin_dispatch(&self) {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn end_dispatch(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Whether the server is currently in the shedding regime (no state
+    /// change; for reporting).
+    pub(crate) fn is_shedding(&self) -> bool {
+        self.shedding.load(Ordering::Acquire)
+    }
+
+    /// Whether to shed right now, with hysteresis: returns `(shed,
+    /// transition)` where `transition` is `Some(true)` the moment shedding
+    /// starts and `Some(false)` the moment it stops (for one-shot warn
+    /// events). Transitions race benignly under concurrency — the counters
+    /// are approximate by design.
+    pub(crate) fn shed_decision(&self) -> (bool, Option<bool>) {
+        let in_flight = self.in_flight.load(Ordering::Acquire);
+        if self.shedding.load(Ordering::Acquire) {
+            if in_flight <= self.low {
+                self.shedding.store(false, Ordering::Release);
+                (false, Some(false))
+            } else {
+                (true, None)
+            }
+        } else if in_flight >= self.high {
+            self.shedding.store(true, Ordering::Release);
+            (true, Some(true))
+        } else {
+            (false, None)
+        }
+    }
+
+    /// Server-suggested retry delay, scaled linearly to how far past the
+    /// high watermark the queue is — a deterministic function of queue
+    /// depth, so identical load produces identical advice.
+    pub(crate) fn retry_after_ms(&self) -> u64 {
+        let in_flight = self.in_flight.load(Ordering::Acquire) as u64;
+        let high = self.high.max(1) as u64;
+        let over = in_flight.saturating_sub(high);
+        (25 + over * 100 / high).clamp(25, 2_000)
+    }
+}
 
 /// Shared server state, visible to both serve cores.
 pub(crate) struct ServerInner {
@@ -141,6 +266,53 @@ pub(crate) struct ServerInner {
     pub(crate) platform: ceal_sim::Platform,
     /// Structured trace sink shared by every layer of the server.
     pub(crate) tracer: Tracer,
+    /// Admission control and load shedding.
+    pub(crate) load: LoadControl,
+    /// Circuit breakers guarding the oracle and cache-persist backends.
+    pub(crate) breakers: Breakers,
+    /// Process start, for `Health`'s uptime.
+    pub(crate) started: Instant,
+}
+
+impl ServerInner {
+    /// Snapshot of the overload counters for the metrics overlay.
+    pub(crate) fn overload_stats(&self) -> OverloadStats {
+        OverloadStats {
+            requests_shed: self.load.requests_shed.load(Ordering::Relaxed),
+            connections_rejected: self.load.connections_rejected.load(Ordering::Relaxed),
+            oracle_breaker_opens: self.breakers.oracle.opens(),
+            cache_breaker_opens: self.breakers.cache.opens(),
+        }
+    }
+
+    /// Emits the one-shot `overload.shed-start` / `overload.shed-stop`
+    /// warn events for a [`LoadControl::shed_decision`] transition.
+    pub(crate) fn note_shed_transition(&self, transition: Option<bool>) {
+        match transition {
+            Some(true) => self.tracer.warn(
+                "overload.shed-start",
+                TraceContext::NONE,
+                &format!(
+                    "dispatch queue crossed high watermark ({}); shedding begins",
+                    self.load.high
+                ),
+                &[("in_flight", self.load.in_flight().into())],
+            ),
+            Some(false) => self.tracer.warn(
+                "overload.shed-stop",
+                TraceContext::NONE,
+                &format!(
+                    "dispatch queue drained to low watermark ({}); shedding ends",
+                    self.load.low
+                ),
+                &[(
+                    "requests_shed",
+                    self.load.requests_shed.load(Ordering::Relaxed).into(),
+                )],
+            ),
+            None => {}
+        }
+    }
 }
 
 /// The loopback address a server can reach itself at: wildcard binds
@@ -197,10 +369,12 @@ impl Server {
                 ],
             );
         }
+        let breakers = Breakers::new(&tracer);
         let mut sessions = SessionManager::new(config.idle_timeout)
             .with_platform(config.platform.clone())
             .with_transfer_threshold(config.transfer_threshold)
-            .with_tracer(tracer.clone());
+            .with_tracer(tracer.clone())
+            .with_breakers(breakers.clone());
         if let Some(dir) = &config.journal_dir {
             sessions = sessions.with_journal_dir(dir.clone())?;
         }
@@ -210,6 +384,20 @@ impl Server {
         sessions.rebuild_from_disk(&metrics);
         let evict_cadence =
             (config.idle_timeout / 4).clamp(Duration::from_millis(25), Duration::from_secs(1));
+        // Generous default watermarks: shedding is for sustained overload,
+        // not a couple of concurrent campaigns. Benches and tests override
+        // them to exercise the shed path deliberately.
+        let high = if config.dispatch_high_watermark > 0 {
+            config.dispatch_high_watermark
+        } else {
+            (config.workers.max(1) * 4).max(16)
+        };
+        let low = if config.dispatch_low_watermark > 0 {
+            config.dispatch_low_watermark
+        } else {
+            high / 2
+        };
+        let load = LoadControl::new(config.max_connections, high, low);
         Ok(Server {
             listener,
             workers: config.workers.max(1),
@@ -232,6 +420,9 @@ impl Server {
                 ),
                 platform: config.platform,
                 tracer,
+                load,
+                breakers,
+                started: Instant::now(),
             }),
         })
     }
@@ -282,6 +473,10 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            if !self.inner.load.try_admit_conn() {
+                reject_connection(stream, &self.inner);
+                continue;
+            }
             let inner = Arc::clone(&self.inner);
             pool.execute_tracked(&wg, move || handle_connection(stream, inner));
         }
@@ -342,6 +537,7 @@ pub(crate) fn request_span_name(endpoint: Endpoint) -> &'static str {
         Endpoint::RegisterWorker => "request.register-worker",
         Endpoint::Heartbeat => "request.heartbeat",
         Endpoint::TaskResult => "request.task-result",
+        Endpoint::Health => "request.health",
     }
 }
 
@@ -360,10 +556,78 @@ pub(crate) fn endpoint_of(req: &Request) -> Endpoint {
         Request::RegisterWorker { .. } => Endpoint::RegisterWorker,
         Request::Heartbeat { .. } => Endpoint::Heartbeat,
         Request::TaskResult { .. } => Endpoint::TaskResult,
+        Request::Health => Endpoint::Health,
+    }
+}
+
+/// Requests never shed under overload: cheap control traffic whose loss
+/// would blind operators (`Health`, `Metrics`), break liveness (`Ping`,
+/// `Shutdown`), leak resources (`Status`, `CloseSession`), or stall the
+/// fleet's exactly-once accounting (worker registration, heartbeats, and
+/// result delivery — shedding a `TaskResult` would force a re-measure).
+pub(crate) fn exempt_request(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Ping
+            | Request::Health
+            | Request::Metrics
+            | Request::Shutdown
+            | Request::Status { .. }
+            | Request::CloseSession { .. }
+            | Request::RegisterWorker { .. }
+            | Request::Heartbeat { .. }
+            | Request::TaskResult { .. }
+    )
+}
+
+/// Serialized-form prefixes of every [`exempt_request`] variant, as serde's
+/// externally-tagged layout emits them: unit variants are a bare JSON
+/// string, struct variants an object keyed by the variant name.
+const EXEMPT_PREFIXES: &[&[u8]] = &[
+    b"\"Ping\"",
+    b"\"Health\"",
+    b"\"Metrics\"",
+    b"\"Shutdown\"",
+    b"{\"Status\":",
+    b"{\"CloseSession\":",
+    b"{\"RegisterWorker\":",
+    b"{\"Heartbeat\":",
+    b"{\"TaskResult\":",
+];
+
+/// Byte-prefix shed exemption for the reactor path, which must decide
+/// before spending pool time on JSON decoding. Only canonical serde output
+/// matches; a whitespace-padded equivalent simply isn't exempt, which
+/// fails safe (it can be shed, never wrongly admitted as exempt work).
+pub(crate) fn exempt_payload(payload: &[u8]) -> bool {
+    EXEMPT_PREFIXES.iter().any(|p| payload.starts_with(p))
+}
+
+/// Answers an over-cap connection with one best-effort `Busy` frame and
+/// closes it, so a well-behaved client learns to back off instead of
+/// seeing a silent RST.
+pub(crate) fn reject_connection(mut stream: TcpStream, inner: &ServerInner) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let _ = write_message_limited(
+        &mut stream,
+        &Response::Busy {
+            retry_after_ms: inner.load.retry_after_ms().max(100),
+        },
+        Duration::from_millis(100),
+    );
+}
+
+/// Releases a connection's admission slot on every exit path.
+struct ConnSlot<'a>(&'a LoadControl);
+
+impl Drop for ConnSlot<'_> {
+    fn drop(&mut self) {
+        self.0.release_conn();
     }
 }
 
 fn handle_connection(mut stream: TcpStream, inner: Arc<ServerInner>) {
+    let _slot = ConnSlot(&inner.load);
     // Connection-lifetime span: `Begin` at accept, `End` (with duration)
     // on any exit path below. The reactor path records the same pair.
     let mut conn_span = inner.tracer.span("conn", TraceContext::NONE);
@@ -412,7 +676,20 @@ fn handle_connection(mut stream: TcpStream, inner: Arc<ServerInner>) {
         };
         let is_shutdown = matches!(req, Request::Shutdown);
         let endpoint = endpoint_of(&req);
+        let (shedding, transition) = inner.load.shed_decision();
+        inner.note_shed_transition(transition);
+        if shedding && !exempt_request(&req) {
+            inner.load.requests_shed.fetch_add(1, Ordering::Relaxed);
+            let busy = Response::Busy {
+                retry_after_ms: inner.load.retry_after_ms(),
+            };
+            if write_message_limited(&mut stream, &busy, inner.stall_deadline).is_err() {
+                return;
+            }
+            continue;
+        }
         let start = Instant::now();
+        inner.load.begin_dispatch();
         let resp = catch_unwind(AssertUnwindSafe(|| dispatch(req, &inner))).unwrap_or_else(|p| {
             let detail = p
                 .downcast_ref::<String>()
@@ -424,6 +701,7 @@ fn handle_connection(mut stream: TcpStream, inner: Arc<ServerInner>) {
                 message: detail.to_string(),
             }
         });
+        inner.load.end_dispatch();
         let is_error = matches!(resp, Response::Error { .. });
         inner.metrics.record(endpoint, start.elapsed(), is_error);
         if write_message_limited(&mut stream, &resp, inner.stall_deadline).is_err() {
@@ -540,7 +818,9 @@ fn dispatch_inner(req: Request, inner: &ServerInner) -> Response {
             inner.sessions.len() as u64,
             &inner.cache.stats(),
             inner.fleet.report(),
+            inner.overload_stats(),
         )),
+        Request::Health => Response::Health(health_report(inner)),
         Request::Shutdown => {
             inner.shutdown.store(true, Ordering::Release);
             // Land everything still buffered in the trace ring before the
@@ -563,6 +843,25 @@ fn dispatch_inner(req: Request, inner: &ServerInner) -> Response {
             inner.fleet.poll(worker, results).map_err(ServeError::from),
             |tasks| Response::TaskAssign { tasks },
         ),
+    }
+}
+
+/// Builds the `Health` payload from the shared overload state.
+pub(crate) fn health_report(inner: &ServerInner) -> HealthReport {
+    let overload = inner.overload_stats();
+    HealthReport {
+        uptime_ms: inner.started.elapsed().as_millis().min(u64::MAX as u128) as u64,
+        live_connections: inner.load.live_conns() as u64,
+        max_connections: inner.load.max_connections as u64,
+        dispatch_in_flight: inner.load.in_flight() as u64,
+        dispatch_high_watermark: inner.load.high as u64,
+        dispatch_low_watermark: inner.load.low as u64,
+        shedding: inner.load.is_shedding(),
+        requests_shed: overload.requests_shed,
+        connections_rejected: overload.connections_rejected,
+        active_sessions: inner.sessions.len() as u64,
+        oracle_breaker: inner.breakers.oracle.status(),
+        cache_breaker: inner.breakers.cache.status(),
     }
 }
 
@@ -664,15 +963,31 @@ fn tune(params: TuneParams, inner: &ServerInner) -> Result<Response, ServeError>
             .collect(),
         platform_features: platform_features(&inner.platform),
     };
-    if let Err(e) = inner.cache.put(entry) {
-        inner
-            .metrics
-            .cache_persist_failures
-            .fetch_add(1, Ordering::Relaxed);
-        inner.tracer.warn(
-            "cache.persist-failed",
+    if inner.breakers.cache.allow() {
+        match inner.cache.put(entry) {
+            Ok(()) => inner.breakers.cache.record_success(),
+            Err(e) => {
+                inner.breakers.cache.record_failure();
+                inner
+                    .metrics
+                    .cache_persist_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                inner.tracer.warn(
+                    "cache.persist-failed",
+                    span.ctx(),
+                    &format!("cache persistence failed: {e}"),
+                    &[("endpoint", "tune".into())],
+                );
+            }
+        }
+    } else {
+        // Breaker open: skip the doomed disk write but keep serving the
+        // result from memory, so a dead disk degrades durability, not
+        // correctness.
+        inner.cache.put_memory_only(entry);
+        inner.tracer.instant(
+            "cache.persist-skipped",
             span.ctx(),
-            &format!("cache persistence failed: {e}"),
             &[("endpoint", "tune".into())],
         );
     }
@@ -698,6 +1013,128 @@ mod tests {
         assert_eq!(wakeup_addr(v4), "127.0.0.1:8080".parse().unwrap());
         let v6: SocketAddr = "[::]:9090".parse().unwrap();
         assert_eq!(wakeup_addr(v6), "[::1]:9090".parse().unwrap());
+    }
+
+    #[test]
+    fn payload_exemption_matches_typed_exemption() {
+        // The reactor decides exemption on raw bytes; the blocking path on
+        // the decoded enum. One sample per variant proves the byte
+        // prefixes and the typed matcher never disagree.
+        let samples = vec![
+            Request::Ping,
+            Request::Health,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Status { session: 1 },
+            Request::CloseSession { session: 1 },
+            Request::RegisterWorker { name: "w".into() },
+            Request::Heartbeat { worker: 1 },
+            Request::TaskResult {
+                worker: 1,
+                results: vec![],
+            },
+            Request::Tune(TuneParams {
+                workflow: "LV".into(),
+                objective: "comp".into(),
+                budget: 25,
+                pool: 500,
+                seed: 7,
+                algo: "ceal".into(),
+            }),
+            Request::CreateSession {
+                params: TuneParams {
+                    workflow: "LV".into(),
+                    objective: "comp".into(),
+                    budget: 25,
+                    pool: 500,
+                    seed: 7,
+                    algo: "ceal".into(),
+                },
+                failure_rate: 0.0,
+                fault_seed: 0,
+            },
+            Request::Advance {
+                session: 1,
+                runs: 5,
+            },
+            Request::Predict {
+                session: 1,
+                configs: vec![],
+            },
+            Request::Measure {
+                session: 1,
+                config: vec![],
+            },
+            Request::PushHistory {
+                session: 1,
+                samples: vec![],
+            },
+        ];
+        for req in samples {
+            let payload = serde_json::to_vec(&req).unwrap();
+            assert_eq!(
+                exempt_payload(&payload),
+                exempt_request(&req),
+                "prefix and typed exemption disagree for {req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn padded_payloads_are_not_exempt() {
+        // Non-canonical whitespace fails safe: sheddable, never wrongly
+        // admitted.
+        assert!(!exempt_payload(b" \"Ping\""));
+        assert!(!exempt_payload(b"{ \"Heartbeat\": {\"worker\":1}}"));
+    }
+
+    #[test]
+    fn load_control_sheds_with_hysteresis() {
+        let load = LoadControl::new(10, 4, 2);
+        for _ in 0..4 {
+            load.begin_dispatch();
+        }
+        let (shed, transition) = load.shed_decision();
+        assert!(shed);
+        assert_eq!(transition, Some(true));
+        // Still above low: keeps shedding without a fresh transition.
+        load.end_dispatch();
+        let (shed, transition) = load.shed_decision();
+        assert!(shed);
+        assert_eq!(transition, None);
+        // At low: stops, one stop transition.
+        load.end_dispatch();
+        load.end_dispatch();
+        let (shed, transition) = load.shed_decision();
+        assert!(!shed);
+        assert_eq!(transition, Some(false));
+    }
+
+    #[test]
+    fn load_control_caps_connections() {
+        let load = LoadControl::new(2, 4, 2);
+        assert!(load.try_admit_conn());
+        assert!(load.try_admit_conn());
+        assert!(!load.try_admit_conn());
+        assert_eq!(load.connections_rejected.load(Ordering::Relaxed), 1);
+        load.release_conn();
+        assert!(load.try_admit_conn());
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth() {
+        let load = LoadControl::new(10, 4, 2);
+        for _ in 0..4 {
+            load.begin_dispatch();
+        }
+        let at_watermark = load.retry_after_ms();
+        for _ in 0..40 {
+            load.begin_dispatch();
+        }
+        let deep = load.retry_after_ms();
+        assert!(at_watermark >= 25);
+        assert!(deep > at_watermark, "deeper queue must push clients out");
+        assert!(deep <= 2_000);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! Sessions live in a [`SessionManager`] registry guarded by `parking_lot`
 //! locks, carry per-session IDs, and are evicted after an idle timeout.
 
+use crate::breaker::Breakers;
 use crate::cache::{
     platform_features, platform_fingerprint, AutotuneCache, CacheEntry, CacheKey, TransferHit,
     DEFAULT_TRANSFER_THRESHOLD,
@@ -277,6 +278,9 @@ pub struct Session {
     /// transition, so each phase's `End` carries that phase's duration.
     phase_span: Option<Span>,
     tracer: Tracer,
+    /// Circuit breakers shared with the server; `None` in unit tests that
+    /// build sessions directly.
+    breakers: Option<Breakers>,
     last_touch: Instant,
 }
 
@@ -338,6 +342,7 @@ impl Session {
             root_span,
             phase_span: None,
             tracer,
+            breakers: None,
             last_touch: Instant::now(),
         };
         s.enter_phase(Phase::Created);
@@ -519,6 +524,9 @@ impl Session {
         span.field("session", self.id);
         span.field("idx", idx as u64);
         let m = if self.failure_rate > 0.0 {
+            // Injected faults are a local-retry test fixture, not a sick
+            // backend — they bypass the breaker entirely so a
+            // fault-injection session can't blackhole real measurements.
             let injector = FaultInjector::new(&self.oracle, self.failure_rate, self.fault_seed);
             let m = injector
                 .try_measure(&cfg, attempt)
@@ -526,9 +534,28 @@ impl Session {
             metrics.add_oracle_measurements(1);
             m
         } else {
-            CountingOracle::new(&self.oracle, metrics)
-                .try_measure(&cfg)
-                .map_err(|e| ServeError::MeasurementFailed(e.to_string()))?
+            let breaker = self.breakers.as_ref().map(|b| b.oracle.as_ref());
+            if let Some(b) = breaker {
+                if !b.allow() {
+                    return Err(ServeError::MeasurementFailed(
+                        "oracle circuit breaker open; measurement refused".into(),
+                    ));
+                }
+            }
+            match CountingOracle::new(&self.oracle, metrics).try_measure(&cfg) {
+                Ok(m) => {
+                    if let Some(b) = breaker {
+                        b.record_success();
+                    }
+                    m
+                }
+                Err(e) => {
+                    if let Some(b) = breaker {
+                        b.record_failure();
+                    }
+                    return Err(ServeError::MeasurementFailed(e.to_string()));
+                }
+            }
         };
         span.field("value", m.value);
         drop(span);
@@ -829,16 +856,41 @@ impl Session {
             samples: self.measured.clone(),
             platform_features: platform_features(platform),
         };
-        if let Err(e) = cache.put(entry) {
-            metrics
-                .cache_persist_failures
-                .fetch_add(1, Ordering::Relaxed);
-            self.tracer.warn(
-                "cache.persist-failed",
-                self.trace_ctx(),
-                &format!("cache persistence failed: {e}"),
-                &[("session", self.id.into())],
-            );
+        let breaker = self.breakers.as_ref().map(|b| b.cache.as_ref());
+        if let Some(b) = breaker {
+            if !b.allow() {
+                // Breaker open: keep the result serveable from memory and
+                // skip the doomed disk write; durability degrades, the
+                // campaign's answer doesn't.
+                cache.put_memory_only(entry);
+                self.tracer.instant(
+                    "cache.persist-skipped",
+                    self.trace_ctx(),
+                    &[("session", self.id.into())],
+                );
+                return;
+            }
+        }
+        match cache.put(entry) {
+            Ok(()) => {
+                if let Some(b) = breaker {
+                    b.record_success();
+                }
+            }
+            Err(e) => {
+                if let Some(b) = breaker {
+                    b.record_failure();
+                }
+                metrics
+                    .cache_persist_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                self.tracer.warn(
+                    "cache.persist-failed",
+                    self.trace_ctx(),
+                    &format!("cache persistence failed: {e}"),
+                    &[("session", self.id.into())],
+                );
+            }
         }
     }
 
@@ -975,6 +1027,8 @@ pub struct SessionManager {
     transfer_threshold: f64,
     /// Trace sink handed to every session this registry creates.
     tracer: Tracer,
+    /// Circuit breakers handed to every session this registry creates.
+    breakers: Option<Breakers>,
 }
 
 impl SessionManager {
@@ -989,12 +1043,20 @@ impl SessionManager {
             platform: Platform::default(),
             transfer_threshold: DEFAULT_TRANSFER_THRESHOLD,
             tracer: Tracer::disabled(),
+            breakers: None,
         }
     }
 
     /// Sets the trace sink sessions record their campaign spans through.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Sets the circuit breakers sessions route their oracle and
+    /// cache-persist calls through.
+    pub fn with_breakers(mut self, breakers: Breakers) -> Self {
+        self.breakers = Some(breakers);
         self
     }
 
@@ -1099,6 +1161,7 @@ impl SessionManager {
             self.platform.clone(),
             self.tracer.clone(),
         );
+        session.breakers = self.breakers.clone();
         session.journal = Some(journal);
         session.replay(records.collect())?;
         Ok(session)
@@ -1191,6 +1254,7 @@ impl SessionManager {
                 (session, false)
             }
         };
+        session.breakers = self.breakers.clone();
         // One lookup event per created session, naming both the store tier
         // that answered (`front`/`disk`/`miss`) and the campaign tier the
         // session starts in (`exact`/`transfer`/`cold`).

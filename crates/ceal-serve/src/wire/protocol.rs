@@ -32,7 +32,15 @@ use serde::{Deserialize, Serialize};
 /// measurement carries its originating session's trace context through
 /// worker execution. All additions are `#[serde(default)]`, so v4
 /// payloads still parse.
-pub const PROTOCOL_VERSION: u32 = 5;
+///
+/// v6: overload protection — [`Request::Health`],
+/// [`Response::Busy`] (typed load shedding with a server-suggested
+/// retry delay), [`Response::Health`] with [`HealthReport`] /
+/// [`BreakerStatus`], and the shed/breaker counters on
+/// [`MetricsReport`] (`requests_shed`, `connections_rejected`,
+/// `oracle_breaker_opens`, `cache_breaker_opens`). All additions are
+/// `#[serde(default)]`, so v5 payloads still parse.
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// Parameters shared by one-shot tuning and session creation.
 ///
@@ -119,6 +127,10 @@ pub enum Request {
     },
     /// Per-endpoint counters and latency histograms.
     Metrics,
+    /// Liveness with substance: queue depths, shed/breaker counters, and
+    /// uptime. Exempt from load shedding so operators can always see why
+    /// the server is saying [`Response::Busy`].
+    Health,
     /// Stop accepting connections, drain in-flight work, and exit the
     /// serve loop.
     Shutdown,
@@ -250,6 +262,61 @@ pub struct MetricsReport {
     /// registered). `default` so v2 reports still parse.
     #[serde(default)]
     pub fleet: FleetReport,
+    /// Requests answered with [`Response::Busy`] because the dispatch
+    /// queue crossed its high watermark. `default` so v5 reports parse.
+    #[serde(default)]
+    pub requests_shed: u64,
+    /// Connections refused at accept because the live-connection cap was
+    /// reached. `default` so v5 reports parse.
+    #[serde(default)]
+    pub connections_rejected: u64,
+    /// Times the oracle-measurement circuit breaker opened.
+    #[serde(default)]
+    pub oracle_breaker_opens: u64,
+    /// Times the cache-persist circuit breaker opened.
+    #[serde(default)]
+    pub cache_breaker_opens: u64,
+}
+
+/// One circuit breaker's externally visible state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct BreakerStatus {
+    /// `closed`, `open`, or `half-open`.
+    pub state: String,
+    /// Consecutive failures recorded since the last success.
+    pub consecutive_failures: u64,
+    /// Times this breaker has opened since startup.
+    pub opens: u64,
+}
+
+/// The `health` endpoint's payload: enough to diagnose a shedding server
+/// from the outside.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HealthReport {
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Connections currently admitted.
+    pub live_connections: u64,
+    /// Admission cap on live connections.
+    pub max_connections: u64,
+    /// Requests currently queued or executing on the dispatch pool.
+    pub dispatch_in_flight: u64,
+    /// Shedding starts when `dispatch_in_flight` reaches this.
+    pub dispatch_high_watermark: u64,
+    /// Shedding stops once `dispatch_in_flight` falls back to this.
+    pub dispatch_low_watermark: u64,
+    /// Whether the server is currently shedding sheddable requests.
+    pub shedding: bool,
+    /// Requests answered with [`Response::Busy`] since startup.
+    pub requests_shed: u64,
+    /// Connections refused at accept since startup.
+    pub connections_rejected: u64,
+    /// Sessions currently live.
+    pub active_sessions: u64,
+    /// Oracle-measurement breaker state.
+    pub oracle_breaker: BreakerStatus,
+    /// Cache-persist breaker state.
+    pub cache_breaker: BreakerStatus,
 }
 
 /// A server-to-client message.
@@ -301,6 +368,17 @@ pub enum Response {
     },
     /// Reply to [`Request::Metrics`].
     Metrics(MetricsReport),
+    /// Reply to [`Request::Health`].
+    Health(HealthReport),
+    /// Typed load shedding: the server is over its dispatch watermark (or
+    /// connection cap) and declined this request without doing work. The
+    /// connection stays usable; retry after the suggested delay.
+    Busy {
+        /// Server-suggested delay before retrying, milliseconds — scaled
+        /// to the current queue depth so a deep backlog pushes clients
+        /// further out.
+        retry_after_ms: u64,
+    },
     /// Reply to [`Request::RegisterWorker`].
     WorkerRegistered {
         /// Coordinator-assigned worker id; quote it on every poll.
@@ -374,6 +452,7 @@ mod tests {
                 }],
             },
             Request::Shutdown,
+            Request::Health,
         ];
         for req in reqs {
             let json = serde_json::to_string(&req).unwrap();
@@ -438,6 +517,29 @@ mod tests {
                 code: "infeasible".into(),
                 message: "nope".into(),
             },
+            Response::Busy { retry_after_ms: 75 },
+            Response::Health(HealthReport {
+                uptime_ms: 12_000,
+                live_connections: 3,
+                max_connections: 16_384,
+                dispatch_in_flight: 17,
+                dispatch_high_watermark: 16,
+                dispatch_low_watermark: 8,
+                shedding: true,
+                requests_shed: 41,
+                connections_rejected: 2,
+                active_sessions: 1,
+                oracle_breaker: BreakerStatus {
+                    state: "closed".into(),
+                    consecutive_failures: 0,
+                    opens: 0,
+                },
+                cache_breaker: BreakerStatus {
+                    state: "open".into(),
+                    consecutive_failures: 3,
+                    opens: 1,
+                },
+            }),
         ];
         for resp in resps {
             let json = serde_json::to_string(&resp).unwrap();
@@ -491,5 +593,20 @@ mod tests {
         )
         .unwrap();
         assert_eq!((task.trace, task.span), (0, 0));
+    }
+
+    #[test]
+    fn v5_payloads_without_overload_fields_still_parse() {
+        // A v5 server's MetricsReport has no shed/breaker counters.
+        let report: MetricsReport = serde_json::from_str(
+            r#"{"endpoints":[],"oracle_measurements":9,"cache_hits":1,
+                "cache_misses":2,"sessions_created":3,"sessions_evicted":0,
+                "sessions_rebuilt":0,"active_sessions":3}"#,
+        )
+        .unwrap();
+        assert_eq!(report.requests_shed, 0);
+        assert_eq!(report.connections_rejected, 0);
+        assert_eq!(report.oracle_breaker_opens, 0);
+        assert_eq!(report.cache_breaker_opens, 0);
     }
 }

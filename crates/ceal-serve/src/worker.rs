@@ -144,10 +144,13 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<WorkerSummary, ClientError> {
         let polled = if pending.is_empty() {
             client.heartbeat(worker)
         } else {
-            client.task_result(worker, std::mem::take(&mut pending))
+            client.task_result(worker, pending.clone())
         };
         let tasks = match polled {
-            Ok(tasks) => tasks,
+            Ok(tasks) => {
+                pending.clear();
+                tasks
+            }
             Err(ClientError::Server { code, .. }) if code == "unknown-worker" => {
                 let (fresh, _) = client.register_worker(&cfg.name)?;
                 worker = fresh;
@@ -156,6 +159,14 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<WorkerSummary, ClientError> {
             }
             Err(ClientError::Server { code, .. }) if code == "shutting-down" => {
                 return Ok(summary);
+            }
+            // Fleet control traffic is normally shed-exempt, but an
+            // overload answer can still surface (e.g. through a retry
+            // policy with no headroom). Back off and keep the worker
+            // alive: pending results stay queued for the next poll.
+            Err(ClientError::Overloaded { retry_after_ms }) => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(1_000)));
+                continue;
             }
             Err(e) => return Err(e),
         };

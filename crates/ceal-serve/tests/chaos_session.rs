@@ -155,7 +155,12 @@ fn session_killed_mid_journal_write_rebuilds_and_spends_only_the_lost_budget() {
     assert_eq!(mgr2.rebuild_from_disk(&metrics2), 1);
     assert_eq!(
         metrics2
-            .report(0, &CacheStats::default(), FleetReport::default())
+            .report(
+                0,
+                &CacheStats::default(),
+                FleetReport::default(),
+                ceal_serve::OverloadStats::default(),
+            )
             .oracle_measurements,
         0,
         "rebuilding must not touch the oracle"
@@ -173,7 +178,12 @@ fn session_killed_mid_journal_write_rebuilds_and_spends_only_the_lost_budget() {
     assert!(done.best.is_some() && done.best_value.is_some());
     assert_eq!(
         metrics2
-            .report(0, &CacheStats::default(), FleetReport::default())
+            .report(
+                0,
+                &CacheStats::default(),
+                FleetReport::default(),
+                ceal_serve::OverloadStats::default(),
+            )
             .oracle_measurements,
         BUDGET - committed,
         "the resumed run pays only for what the crash lost"
